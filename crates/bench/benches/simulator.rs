@@ -1,0 +1,90 @@
+//! Criterion benches over the synthetic-fleet generator, including the
+//! mechanism ablations DESIGN.md calls out (excitation, frailty, node-0
+//! role, cluster events): the ablated fleets must not be slower than
+//! the full mechanism set, and the bench output doubles as a timing
+//! record of what each mechanism costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcfail_synth::excitation::ExcitationMatrix;
+use hpcfail_synth::sim::SimOptions;
+use hpcfail_synth::spec::{FleetSpec, SystemSpec};
+
+fn small_fleet() -> FleetSpec {
+    let mut fleet = FleetSpec::demo();
+    fleet.systems = vec![SystemSpec::smp(18, 128, 730), SystemSpec::numa(2, 16, 730)];
+    fleet
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let fleet = small_fleet();
+    c.bench_function("generate_small_fleet", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fleet.generate(seed)
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let fleet = small_fleet();
+    let mut group = c.benchmark_group("ablations");
+    let cases: [(&str, fn() -> SimOptions); 5] = [
+        ("full", SimOptions::default),
+        ("no_excitation", || SimOptions {
+            excitation: ExcitationMatrix::disabled(),
+            ..SimOptions::default()
+        }),
+        ("no_frailty", || SimOptions {
+            frailty: false,
+            ..SimOptions::default()
+        }),
+        ("no_node0_role", || SimOptions {
+            node0_role: false,
+            ..SimOptions::default()
+        }),
+        ("no_cluster_events", || SimOptions {
+            cluster_events: false,
+            ..SimOptions::default()
+        }),
+    ];
+    for (name, make) in cases {
+        group.bench_function(name, |b| {
+            let options = make();
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fleet.generate_with(seed, &options)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    use hpcfail_synth::workload::{accumulate_usage, generate_workload};
+    use hpcfail_types::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let spec = hpcfail_synth::spec::WorkloadSpec::default();
+    c.bench_function("generate_workload_1y", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_workload(&mut rng, &spec, SystemId::new(8), 256, 4, 365)
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let workload = generate_workload(&mut rng, &spec, SystemId::new(8), 256, 4, 365);
+    c.bench_function("accumulate_usage_1y", |b| {
+        b.iter(|| accumulate_usage(&workload, 256, 365))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generation, bench_ablations, bench_workload
+}
+criterion_main!(benches);

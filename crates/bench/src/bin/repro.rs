@@ -1,0 +1,116 @@
+//! Command-line reproduction harness.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [--list] <experiment>... | all
+//! ```
+
+use hpcfail_bench::{experiment, ReproContext, EXPERIMENTS};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: repro [--scale S] [--seed N] [--list] <experiment>... | all\n\n\
+         Regenerates the tables and figures of El-Sayed & Schroeder (DSN 2013)\n\
+         against a synthetic LANL-like fleet.\n\n\
+         options:\n\
+           --scale S   fleet scale in (0, 1], default 1.0 (full LANL size)\n\
+           --seed N    generation seed, default 42\n\
+           --out DIR   also write each report to DIR/<id>.txt\n\
+           --list      list experiments and exit\n\n\
+         experiments:\n",
+    );
+    for e in EXPERIMENTS {
+        out.push_str(&format!("  {:<8} {}\n", e.id, e.title));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scale" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0.0 && v <= 1.0 => scale = v,
+                _ => {
+                    eprintln!("--scale needs a value in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENTS.iter().map(|e| e.id.to_owned()).collect();
+    }
+    // Validate ids before paying for generation.
+    for id in &ids {
+        if experiment(id).is_none() {
+            eprintln!("unknown experiment {id:?}; try --list");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!("generating fleet (scale {scale}, seed {seed})...");
+    let start = std::time::Instant::now();
+    let ctx = ReproContext::generate(scale, seed);
+    eprintln!(
+        "generated {} failures across {} systems in {:.1?}\n",
+        ctx.trace().total_failures(),
+        ctx.trace().len(),
+        start.elapsed()
+    );
+
+    if let Some(dir) = &out_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for id in &ids {
+        let e = experiment(id).expect("validated above");
+        let start = std::time::Instant::now();
+        let report = (e.run)(&ctx);
+        println!("==== {} ({}) ====", e.id, e.title);
+        println!("{report}");
+        eprintln!("[{} took {:.1?}]\n", e.id, start.elapsed());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.txt", e.id));
+            if let Err(err) = std::fs::write(&path, &report) {
+                eprintln!("cannot write {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

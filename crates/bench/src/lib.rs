@@ -1,0 +1,255 @@
+//! The reproduction harness: regenerates every table and figure of
+//! El-Sayed & Schroeder (DSN 2013) against a synthetic LANL fleet.
+//!
+//! Run via the `repro` binary:
+//!
+//! ```text
+//! cargo run -p hpcfail-bench --bin repro --release -- all
+//! cargo run -p hpcfail-bench --bin repro --release -- fig1a --scale 0.5 --seed 7
+//! ```
+//!
+//! Each experiment is also callable as a library function returning its
+//! report text, which the integration tests assert against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use hpcfail_store::trace::Trace;
+use hpcfail_synth::spec::FleetSpec;
+
+/// The shared context: one generated fleet.
+#[derive(Debug, Clone)]
+pub struct ReproContext {
+    trace: Trace,
+    seed: u64,
+    scale: f64,
+}
+
+impl ReproContext {
+    /// Generates the fleet at `scale` (1.0 = the full LANL-sized fleet)
+    /// with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is outside `(0, 1]`.
+    pub fn generate(scale: f64, seed: u64) -> Self {
+        let spec = if scale >= 1.0 {
+            FleetSpec::lanl()
+        } else {
+            FleetSpec::lanl_scaled(scale)
+        };
+        ReproContext {
+            trace: spec.generate(seed).into_store(),
+            seed,
+            scale,
+        }
+    }
+
+    /// The generated trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generation scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// One experiment: id, the paper artifact it reproduces, and its
+/// implementation.
+pub struct Experiment {
+    /// Short id used on the command line (e.g. `fig1a`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Produces the report text.
+    pub run: fn(&ReproContext) -> String,
+}
+
+/// Every experiment, in paper order.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "sec3a",
+        title: "III-A.1: failure probability after a failure vs a random day/week",
+        run: experiments::sec3a,
+    },
+    Experiment {
+        id: "fig1a",
+        title: "Fig 1(a): P(any follow-up | failure of type X), same node, week",
+        run: experiments::fig1a,
+    },
+    Experiment {
+        id: "fig1b",
+        title: "Fig 1(b): P(type X | same type / any / random), same node, week",
+        run: experiments::fig1b,
+    },
+    Experiment {
+        id: "fig2a",
+        title: "Fig 2(left): P(any follow-up in rack | type X), week",
+        run: experiments::fig2a,
+    },
+    Experiment {
+        id: "fig2b",
+        title: "Fig 2(right): P(type X in rack | same type / any / random), week",
+        run: experiments::fig2b,
+    },
+    Experiment {
+        id: "fig3",
+        title: "Fig 3: P(any follow-up elsewhere in system | type X), week",
+        run: experiments::fig3,
+    },
+    Experiment {
+        id: "fig4",
+        title: "Fig 4: failures per node id + equal-rates chi-square",
+        run: experiments::fig4,
+    },
+    Experiment {
+        id: "sec4c",
+        title: "IV-C: physical location vs failure rates (null result)",
+        run: experiments::sec4c,
+    },
+    Experiment {
+        id: "fig5",
+        title: "Fig 5: root-cause breakdown, node 0 vs rest",
+        run: experiments::fig5,
+    },
+    Experiment {
+        id: "fig6",
+        title: "Fig 6: per-type failure probability, node 0 vs rest",
+        run: experiments::fig6,
+    },
+    Experiment {
+        id: "fig7",
+        title: "Fig 7: failures vs utilization / jobs + Pearson r",
+        run: experiments::fig7,
+    },
+    Experiment {
+        id: "fig8",
+        title: "Fig 8: failures per processor-day for the 50 heaviest users + ANOVA",
+        run: experiments::fig8,
+    },
+    Experiment {
+        id: "fig9",
+        title: "Fig 9: breakdown of environmental failures",
+        run: experiments::fig9,
+    },
+    Experiment {
+        id: "fig10",
+        title: "Fig 10: power problems vs hardware failures",
+        run: experiments::fig10,
+    },
+    Experiment {
+        id: "fig11",
+        title: "Fig 11: power problems vs software failures",
+        run: experiments::fig11,
+    },
+    Experiment {
+        id: "sec7a2",
+        title: "VII-A.2: unscheduled maintenance after power problems",
+        run: experiments::sec7a2,
+    },
+    Experiment {
+        id: "fig12",
+        title: "Fig 12: time-space scatter of power problems (system 2)",
+        run: experiments::fig12,
+    },
+    Experiment {
+        id: "fig13",
+        title: "Fig 13: fan/chiller failures vs hardware failures",
+        run: experiments::fig13,
+    },
+    Experiment {
+        id: "sec8a",
+        title: "VIII-A: regressions of outages on average/max/var temperature",
+        run: experiments::sec8a,
+    },
+    Experiment {
+        id: "fig14",
+        title: "Fig 14: DRAM/CPU failure probability vs neutron flux",
+        run: experiments::fig14,
+    },
+    Experiment {
+        id: "tab1",
+        title: "Table I: the regression feature matrix (summary)",
+        run: experiments::tab1,
+    },
+    Experiment {
+        id: "tab2",
+        title: "Table II: Poisson regression coefficients (system 20)",
+        run: experiments::tab2,
+    },
+    Experiment {
+        id: "tab3",
+        title: "Table III: negative-binomial regression coefficients (system 20)",
+        run: experiments::tab3,
+    },
+    Experiment {
+        id: "predict",
+        title: "Extension: alarm-rule precision/recall from the correlations",
+        run: experiments::predict,
+    },
+    Experiment {
+        id: "ablation",
+        title: "Extension: mechanism ablations (excitation/frailty/node-0/events/usage)",
+        run: experiments::ablation,
+    },
+    Experiment {
+        id: "interarrival",
+        title: "Extension: inter-arrival distribution fits and autocorrelation",
+        run: experiments::interarrival,
+    },
+    Experiment {
+        id: "availability",
+        title: "Extension: MTBF/MTTR/availability report",
+        run: experiments::availability,
+    },
+    Experiment {
+        id: "checkpoint",
+        title: "Extension: checkpoint-policy replay (uniform vs correlation-adaptive)",
+        run: experiments::checkpoint,
+    },
+    Experiment {
+        id: "sweep",
+        title: "Extension: window x scope sweep of the headline conditional",
+        run: experiments::sweep,
+    },
+    Experiment {
+        id: "validate",
+        title: "Extension: calibration self-check against the paper's headline numbers",
+        run: experiments::validate,
+    },
+];
+
+/// Looks up an experiment by id.
+pub fn experiment(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let mut ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert!(n >= 30, "all experiments registered, got {n}");
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(experiment("fig1a").is_some());
+        assert!(experiment("nope").is_none());
+    }
+}

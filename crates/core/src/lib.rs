@@ -1,0 +1,63 @@
+//! The failure-log analyses of El-Sayed & Schroeder (DSN 2013).
+//!
+//! Each module answers one of the paper's questions against any trace in
+//! the `hpcfail-store` data model:
+//!
+//! | module | paper section | question |
+//! |---|---|---|
+//! | [`correlation`] | III | how are failures correlated in time, within a node, rack and system? |
+//! | [`pairwise`] | III-A.3 | does the type of a failure predict the type of a follow-up? |
+//! | [`nodes`] | IV | do some nodes fail differently from others? |
+//! | [`usage`] | V | what is the effect of usage on a node's reliability? |
+//! | [`users`] | VI | are some users more prone to node failures than others? |
+//! | [`power`] | VII | what is the impact of power problems? |
+//! | [`temperature`] | VIII | how does temperature affect failures? |
+//! | [`cosmic`] | IX | do cosmic rays correlate with DRAM/CPU failures? |
+//! | [`regression_study`] | X | joint regression of outages on usage, layout, temperature |
+//! | [`predict`] | (extension) | how useful are the correlations for failure prediction? |
+//! | [`interarrival`] | (extension) | the statistical-model view: inter-arrival fits, ACF |
+//! | [`availability`] | (extension) | MTBF / MTTR / availability reporting from downtimes |
+//! | [`checkpoint`] | (extension) | replaying checkpoint policies over the failure timeline |
+//!
+//! All conditional probabilities share one estimator ([`estimate`]):
+//! the probability of a target event in the window following a trigger,
+//! against the empirical probability in a random window of the same
+//! length, with Wilson confidence intervals and the two-sample
+//! proportion z-test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod checkpoint;
+pub mod correlation;
+pub mod cosmic;
+pub mod estimate;
+pub mod interarrival;
+pub mod nodes;
+pub mod pairwise;
+pub mod parallel;
+pub mod power;
+pub mod predict;
+pub mod regression_study;
+pub mod temperature;
+pub mod usage;
+pub mod users;
+
+/// The most frequently used items.
+pub mod prelude {
+    pub use crate::availability::AvailabilityAnalysis;
+    pub use crate::checkpoint::{CheckpointPolicy, CheckpointSimulator};
+    pub use crate::correlation::{CorrelationAnalysis, Scope};
+    pub use crate::cosmic::CosmicAnalysis;
+    pub use crate::estimate::ConditionalEstimate;
+    pub use crate::interarrival::ArrivalAnalysis;
+    pub use crate::nodes::NodeAnalysis;
+    pub use crate::pairwise::PairwiseAnalysis;
+    pub use crate::power::PowerAnalysis;
+    pub use crate::predict::AlarmRule;
+    pub use crate::regression_study::RegressionStudy;
+    pub use crate::temperature::TemperatureAnalysis;
+    pub use crate::usage::UsageAnalysis;
+    pub use crate::users::UserAnalysis;
+}

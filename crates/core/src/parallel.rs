@@ -1,0 +1,96 @@
+//! Scoped-thread fan-out for independent per-class / per-system
+//! analyses.
+//!
+//! The reproduction harness evaluates dozens of independent
+//! (trigger-class, window, scope) combinations; this helper spreads
+//! them over threads with `crossbeam::scope` while keeping results in
+//! input order.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, using up to `threads` worker threads, and
+/// returns results in input order.
+///
+/// Falls back to a sequential loop for a single thread or a single
+/// item. `f` must be `Sync` because multiple workers share it.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_core::parallel::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock() = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("analysis worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// A reasonable default worker count: available parallelism capped at 8
+/// (the analyses are memory-bandwidth-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = parallel_map(&[5, 6], 1, |&x| x + 1);
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(&[1], 16, |&x| x * 10);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

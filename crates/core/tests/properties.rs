@@ -1,0 +1,186 @@
+//! Property-based tests for the analysis engine: the conditional
+//! estimator against a brute-force oracle on random traces, estimate
+//! algebra, and alarm-rule invariants.
+
+use hpcfail_core::correlation::{CorrelationAnalysis, Scope};
+use hpcfail_core::predict::AlarmRule;
+use hpcfail_store::trace::{SystemTraceBuilder, Trace};
+use hpcfail_types::prelude::*;
+use proptest::prelude::*;
+
+const NODES: u32 = 4;
+const DAYS: f64 = 120.0;
+
+fn root_cause(i: u8) -> RootCause {
+    match i % 6 {
+        0 => RootCause::Environment,
+        1 => RootCause::Hardware,
+        2 => RootCause::HumanError,
+        3 => RootCause::Network,
+        4 => RootCause::Software,
+        _ => RootCause::Undetermined,
+    }
+}
+
+fn build_trace(failures: &[(u32, i64, u8)]) -> Trace {
+    let config = SystemConfig {
+        id: SystemId::new(1),
+        name: "prop".into(),
+        nodes: NODES,
+        procs_per_node: 4,
+        hardware: HardwareClass::Smp4Way,
+        start: Timestamp::EPOCH,
+        end: Timestamp::from_days(DAYS),
+        has_layout: false,
+        has_job_log: false,
+        has_temperature: false,
+    };
+    let mut b = SystemTraceBuilder::new(config);
+    for &(node, sec, root) in failures {
+        b.push_failure(FailureRecord::new(
+            SystemId::new(1),
+            NodeId::new(node % NODES),
+            Timestamp::from_seconds(sec),
+            root_cause(root),
+            SubCause::None,
+        ));
+    }
+    let mut trace = Trace::new();
+    trace.insert_system(b.build());
+    trace
+}
+
+/// Brute-force same-node conditional: for each trigger with an observed
+/// window, does the same node have a later failure of the target class
+/// inside `(t, t+w]`?
+fn oracle_same_node(
+    failures: &[(u32, i64, u8)],
+    trigger: RootCause,
+    window_secs: i64,
+) -> (u64, u64) {
+    let end = (DAYS * 86_400.0) as i64;
+    let mut hits = 0;
+    let mut total = 0;
+    for &(node, t, root) in failures {
+        if root_cause(root) != trigger || t + window_secs > end || t < 0 {
+            continue;
+        }
+        total += 1;
+        let hit = failures
+            .iter()
+            .any(|&(n2, t2, _)| n2 % NODES == node % NODES && t2 > t && t2 <= t + window_secs);
+        if hit {
+            hits += 1;
+        }
+    }
+    (hits, total)
+}
+
+fn arb_failures() -> impl Strategy<Value = Vec<(u32, i64, u8)>> {
+    prop::collection::vec((0u32..NODES, 0i64..(DAYS as i64) * 86_400, 0u8..6), 0..60)
+}
+
+proptest! {
+    #[test]
+    fn conditional_matches_oracle(failures in arb_failures(), trigger in 0u8..6) {
+        let trace = build_trace(&failures);
+        let analysis = CorrelationAnalysis::new(&trace);
+        for window in [Window::Day, Window::Week] {
+            let e = analysis.system_conditional(
+                SystemId::new(1),
+                FailureClass::Root(root_cause(trigger)),
+                FailureClass::Any,
+                window,
+                Scope::SameNode,
+            );
+            let (hits, total) = oracle_same_node(&failures, root_cause(trigger), window.seconds());
+            prop_assert_eq!(e.conditional.successes(), hits, "window {}", window);
+            prop_assert_eq!(e.conditional.trials(), total, "window {}", window);
+        }
+    }
+
+    #[test]
+    fn conditional_counts_monotone_in_window(failures in arb_failures()) {
+        let trace = build_trace(&failures);
+        let analysis = CorrelationAnalysis::new(&trace);
+        let get = |w| {
+            analysis.system_conditional(
+                SystemId::new(1),
+                FailureClass::Any,
+                FailureClass::Any,
+                w,
+                Scope::SameNode,
+            )
+        };
+        let day = get(Window::Day);
+        let week = get(Window::Week);
+        // Fewer observed triggers for longer windows; among shared
+        // triggers the hit probability can only grow, so compare on the
+        // week's trigger set: every week trigger is also a day trigger,
+        // and a day hit inside (t, t+1d] is also a week hit.
+        prop_assert!(week.conditional.trials() <= day.conditional.trials());
+        // Baseline: longer windows have weakly higher probability.
+        prop_assert!(
+            week.baseline.estimate() >= day.baseline.estimate() - 1e-12
+        );
+    }
+
+    #[test]
+    fn group_conditional_equals_single_system(failures in arb_failures()) {
+        let trace = build_trace(&failures);
+        let analysis = CorrelationAnalysis::new(&trace);
+        let single = analysis.system_conditional(
+            SystemId::new(1),
+            FailureClass::Any,
+            FailureClass::Any,
+            Window::Week,
+            Scope::SameNode,
+        );
+        let group = analysis.group_conditional(
+            SystemGroup::Group1,
+            FailureClass::Any,
+            FailureClass::Any,
+            Window::Week,
+            Scope::SameNode,
+        );
+        prop_assert_eq!(single.conditional, group.conditional);
+        prop_assert_eq!(single.baseline, group.baseline);
+    }
+
+    #[test]
+    fn alarm_precision_equals_conditional(failures in arb_failures()) {
+        // The alarm rule's precision is by construction the same-node
+        // conditional probability with the same trigger and window.
+        let trace = build_trace(&failures);
+        let analysis = CorrelationAnalysis::new(&trace);
+        let e = analysis.system_conditional(
+            SystemId::new(1),
+            FailureClass::Root(RootCause::Hardware),
+            FailureClass::Any,
+            Window::Week,
+            Scope::SameNode,
+        );
+        let rule = AlarmRule {
+            trigger: FailureClass::Root(RootCause::Hardware),
+            window: Window::Week,
+        };
+        let eval = rule.evaluate_group(&trace, SystemGroup::Group1);
+        prop_assert_eq!(eval.alarms, e.conditional.trials());
+        prop_assert_eq!(eval.correct_alarms, e.conditional.successes());
+    }
+
+    #[test]
+    fn alarm_metrics_bounded(failures in arb_failures(), trigger in 0u8..6) {
+        let trace = build_trace(&failures);
+        let rule = AlarmRule {
+            trigger: FailureClass::Root(root_cause(trigger)),
+            window: Window::Week,
+        };
+        let eval = rule.evaluate_group(&trace, SystemGroup::Group1);
+        prop_assert!((0.0..=1.0).contains(&eval.precision()));
+        prop_assert!((0.0..=1.0).contains(&eval.recall()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&eval.flagged_fraction()));
+        prop_assert!(eval.correct_alarms <= eval.alarms);
+        prop_assert!(eval.caught_failures <= eval.total_failures);
+    }
+}

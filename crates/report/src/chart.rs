@@ -1,0 +1,230 @@
+//! Text bar charts and scatter grids.
+
+/// A horizontal bar chart with a value and annotation per bar — the
+//  text rendering of the paper's bar figures.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_report::chart::BarChart;
+///
+/// let mut chart = BarChart::new("weekly failure probability");
+/// chart.bar("ENV", 0.472, "23.1x");
+/// chart.bar("RANDOM", 0.0204, "");
+/// let text = chart.render(40);
+/// assert!(text.contains("ENV"));
+/// assert!(text.contains('#'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64, String)>,
+}
+
+impl BarChart {
+    /// Creates a chart with a title line.
+    pub fn new(title: &str) -> Self {
+        BarChart {
+            title: title.to_owned(),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends a bar with a label, a non-negative value and an
+    /// annotation printed after the value (e.g. a factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn bar(&mut self, label: &str, value: f64, annotation: &str) -> &mut Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar value must be non-negative"
+        );
+        self.bars
+            .push((label.to_owned(), value, annotation.to_owned()));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// `true` if no bars were added.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Renders with bars scaled so the maximum spans `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(1);
+        let max = self.bars.iter().map(|&(_, v, _)| v).fold(0.0f64, f64::max);
+        let label_w = self.bars.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, value, annotation) in &self.bars {
+            let n = if max > 0.0 {
+                ((value / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            out.push_str(&format!(
+                "{label:<label_w$} |{} {value:.4}{}{annotation}\n",
+                "#".repeat(n),
+                if annotation.is_empty() { "" } else { " " },
+            ));
+        }
+        out
+    }
+}
+
+/// An ASCII scatter grid — the text rendering of Figures 7, 12 and 14.
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    points: Vec<(f64, f64, char)>,
+}
+
+impl ScatterPlot {
+    /// Creates a plot with axis labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        ScatterPlot {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a point drawn with `glyph` (use different glyphs per
+    /// series, e.g. `o` for ordinary nodes and `X` for node 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn point(&mut self, x: f64, y: f64, glyph: char) -> &mut Self {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "scatter point must be finite"
+        );
+        self.points.push((x, y, glyph));
+        self
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no points were added.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders to a `width x height` grid with axis ranges in the
+    /// footer. Later points overwrite earlier ones in a shared cell.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        let (width, height) = (width.max(2), height.max(2));
+        if self.points.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let xs: Vec<f64> = self.points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = self.points.iter().map(|p| p.1).collect();
+        let (x0, x1) = (min(&xs), max(&xs));
+        let (y0, y1) = (min(&ys), max(&ys));
+        let dx = (x1 - x0).max(1e-12);
+        let dy = (y1 - y0).max(1e-12);
+        let mut grid = vec![vec![' '; width]; height];
+        for &(x, y, glyph) in &self.points {
+            let col = (((x - x0) / dx) * (width - 1) as f64).round() as usize;
+            let row = (((y - y0) / dy) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col] = glyph;
+        }
+        let mut out = format!("{}\n", self.title);
+        for line in grid {
+            out.push('|');
+            out.extend(line);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "x: {} [{:.4} .. {:.4}], y: {} [{:.4} .. {:.4}]\n",
+            self.x_label, x0, x1, self.y_label, y0, y1
+        ));
+        out
+    }
+}
+
+fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut c = BarChart::new("t");
+        c.bar("a", 1.0, "");
+        c.bar("b", 0.5, "x2");
+        let text = c.render(10);
+        let lines: Vec<&str> = text.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&ch| ch == '#').count();
+        assert_eq!(hashes(lines[1]), 10);
+        assert_eq!(hashes(lines[2]), 5);
+        assert!(lines[2].contains("x2"));
+    }
+
+    #[test]
+    fn zero_bars_render_empty() {
+        let mut c = BarChart::new("t");
+        c.bar("a", 0.0, "");
+        let text = c.render(10);
+        assert!(!text.lines().nth(1).unwrap().contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bar_rejected() {
+        let mut c = BarChart::new("t");
+        c.bar("a", -1.0, "");
+    }
+
+    #[test]
+    fn scatter_places_extremes_in_corners() {
+        let mut p = ScatterPlot::new("t", "x", "y");
+        p.point(0.0, 0.0, 'o');
+        p.point(1.0, 1.0, 'X');
+        let text = p.render(10, 5);
+        let lines: Vec<&str> = text.lines().collect();
+        // Top line holds the max-y point at the right edge.
+        assert!(lines[1].ends_with('X'));
+        // Bottom grid line holds the min point at the left edge.
+        assert_eq!(lines[5].chars().nth(1), Some('o'));
+        assert!(text.contains("x: x [0.0000 .. 1.0000]"));
+    }
+
+    #[test]
+    fn empty_scatter_degrades_gracefully() {
+        let p = ScatterPlot::new("t", "x", "y");
+        assert!(p.is_empty());
+        assert!(p.render(10, 5).contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_no_panic() {
+        let mut p = ScatterPlot::new("t", "x", "y");
+        p.point(3.0, 4.0, '*');
+        let text = p.render(8, 4);
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,139 @@
+//! Pre-built renderers for the common analysis outputs.
+
+use crate::chart::BarChart;
+use crate::fmt::{coef, factor, p_value, pct, stars};
+use crate::table::Table;
+use hpcfail_core::estimate::ConditionalEstimate;
+use hpcfail_stats::glm::GlmFit;
+
+/// Renders a set of conditional estimates as a bar chart with factor
+/// annotations plus the shared random baseline as the last bar — the
+/// shape of Figures 1(a), 2(left) and 3.
+pub fn render_conditional_bars(
+    title: &str,
+    bars: &[(&str, ConditionalEstimate)],
+    width: usize,
+) -> String {
+    let mut chart = BarChart::new(title);
+    let mut baseline: Option<ConditionalEstimate> = None;
+    for (label, estimate) in bars {
+        chart.bar(
+            label,
+            estimate.conditional.estimate(),
+            &factor(estimate.factor()),
+        );
+        baseline = Some(match baseline {
+            // All bars share the same baseline (same target class), so
+            // keep the widest-sample one.
+            Some(prev) if prev.baseline.trials() >= estimate.baseline.trials() => prev,
+            _ => *estimate,
+        });
+    }
+    if let Some(b) = baseline {
+        chart.bar("RANDOM", b.baseline.estimate(), "");
+    }
+    chart.render(width)
+}
+
+/// Renders conditional estimates as a detail table: probability,
+/// 95% CI, baseline, factor and significance.
+pub fn render_conditional_table(bars: &[(&str, ConditionalEstimate)]) -> String {
+    let mut t = Table::new(&[
+        "trigger",
+        "P(cond)",
+        "95% CI",
+        "P(random)",
+        "factor",
+        "signif",
+    ]);
+    for (label, e) in bars {
+        let ci = e.conditional_ci();
+        t.row(&[
+            (*label).to_owned(),
+            pct(e.conditional.estimate()),
+            format!("[{}, {}]", pct(ci.low), pct(ci.high)),
+            pct(e.baseline.estimate()),
+            factor(e.factor()),
+            stars(e.test().p_value).to_owned(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders a fitted GLM in the paper's Table II/III layout:
+/// estimate, standard error, z value, `Pr(>|z|)`.
+pub fn render_glm_table(title: &str, fit: &GlmFit) -> String {
+    let mut t = Table::new(&["", "Estimate", "Std. Error", "z value", "Pr(>|z|)", ""]);
+    for c in &fit.coefficients {
+        t.row(&[
+            c.name.clone(),
+            coef(c.estimate),
+            coef(c.std_error),
+            format!("{:.2}", c.z_value),
+            p_value(c.p_value),
+            stars(c.p_value).to_owned(),
+        ]);
+    }
+    format!(
+        "{title}\n{}deviance {:.1} (null {:.1}), logLik {:.1}, AIC {:.1}, n = {}\n",
+        t.render(),
+        fit.deviance,
+        fit.null_deviance,
+        fit.log_likelihood,
+        fit.aic,
+        fit.n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcfail_stats::glm::{Family, GlmModel};
+    use hpcfail_store::query::WindowCounts;
+
+    fn estimate(hits: u64, total: u64, bhits: u64, btotal: u64) -> ConditionalEstimate {
+        ConditionalEstimate::from_counts(
+            WindowCounts { hits, total },
+            WindowCounts {
+                hits: bhits,
+                total: btotal,
+            },
+        )
+    }
+
+    #[test]
+    fn conditional_bars_include_baseline() {
+        let bars = vec![
+            ("ENV", estimate(47, 100, 204, 10_000)),
+            ("NET", estimate(30, 100, 204, 10_000)),
+        ];
+        let text = render_conditional_bars("fig", &bars, 30);
+        assert!(text.contains("ENV"));
+        assert!(text.contains("RANDOM"));
+        assert!(text.contains("23.0x"), "{text}");
+    }
+
+    #[test]
+    fn conditional_table_has_cis_and_stars() {
+        let bars = vec![("HW", estimate(72, 1000, 31, 10_000))];
+        let text = render_conditional_table(&bars);
+        assert!(text.contains("7.20%"));
+        assert!(text.contains("***"), "{text}");
+        assert!(text.contains('['));
+    }
+
+    #[test]
+    fn glm_table_matches_paper_layout() {
+        let y = [10.0, 12.0, 8.0, 30.0, 33.0, 27.0];
+        let g = [0.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let fit = GlmModel::new(Family::Poisson)
+            .term("g", &g)
+            .fit(&y)
+            .unwrap();
+        let text = render_glm_table("Poisson regression", &fit);
+        assert!(text.contains("(Intercept)"));
+        assert!(text.contains("Estimate"));
+        assert!(text.contains("Pr(>|z|)"));
+        assert!(text.contains("AIC"));
+    }
+}

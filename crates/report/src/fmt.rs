@@ -1,0 +1,118 @@
+//! Number formatting shared by every renderer.
+
+/// Formats a probability as a percentage with adaptive precision:
+/// rare events keep more digits ("0.31%"), common ones fewer ("21.4%").
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_report::fmt::pct;
+///
+/// assert_eq!(pct(0.0031), "0.31%");
+/// assert_eq!(pct(0.2145), "21.45%");
+/// assert_eq!(pct(0.0000213), "0.0021%");
+/// ```
+pub fn pct(p: f64) -> String {
+    let v = p * 100.0;
+    if v == 0.0 {
+        "0%".to_owned()
+    } else if v < 0.01 {
+        format!("{v:.4}%")
+    } else {
+        format!("{v:.2}%")
+    }
+}
+
+/// Formats a factor increase like the paper's annotations: `"7.2x"`,
+/// `"700x"` for large values, `"NA"` for a missing baseline.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_report::fmt::factor;
+///
+/// assert_eq!(factor(Some(7.23)), "7.2x");
+/// assert_eq!(factor(Some(703.0)), "703x");
+/// assert_eq!(factor(None), "NA");
+/// ```
+pub fn factor(f: Option<f64>) -> String {
+    match f {
+        None => "NA".to_owned(),
+        Some(v) if v >= 100.0 => format!("{v:.0}x"),
+        Some(v) if v >= 10.0 => format!("{v:.1}x"),
+        Some(v) => format!("{v:.1}x"),
+    }
+}
+
+/// Formats a p-value R-style: very small ones as `"<1e-16"`, others with
+/// four digits.
+pub fn p_value(p: f64) -> String {
+    if p < 1e-16 {
+        "<1e-16".to_owned()
+    } else if p < 1e-4 {
+        format!("{p:.1e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+/// Significance stars at the conventional levels.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_report::fmt::stars;
+///
+/// assert_eq!(stars(0.0001), "***");
+/// assert_eq!(stars(0.02), "*");
+/// assert_eq!(stars(0.2), "");
+/// ```
+pub fn stars(p: f64) -> &'static str {
+    if p < 0.001 {
+        "***"
+    } else if p < 0.01 {
+        "**"
+    } else if p < 0.05 {
+        "*"
+    } else {
+        ""
+    }
+}
+
+/// Fixed-precision float for coefficient tables.
+pub fn coef(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_precision_bands() {
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(pct(0.5), "50.00%");
+        assert_eq!(pct(0.000001), "0.0001%");
+    }
+
+    #[test]
+    fn factor_bands() {
+        assert_eq!(factor(Some(2.04)), "2.0x");
+        assert_eq!(factor(Some(19.94)), "19.9x");
+        assert_eq!(factor(Some(1926.0)), "1926x");
+    }
+
+    #[test]
+    fn p_value_bands() {
+        assert_eq!(p_value(1e-20), "<1e-16");
+        assert_eq!(p_value(0.0373), "0.0373");
+        assert_eq!(p_value(3e-5), "3.0e-5");
+    }
+
+    #[test]
+    fn star_ladder() {
+        assert_eq!(stars(0.0005), "***");
+        assert_eq!(stars(0.005), "**");
+        assert_eq!(stars(0.05), "");
+    }
+}

@@ -1,0 +1,21 @@
+//! Plain-text rendering of `hpcfail` analysis results.
+//!
+//! The reproduction harness prints every paper table and figure as
+//! text: aligned tables ([`table`]), horizontal bar charts and scatter
+//! grids ([`chart`]), and pre-built renderers for the common analysis
+//! outputs ([`figures`]). Number formatting lives in [`fmt`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod figures;
+pub mod fmt;
+pub mod table;
+
+/// The most frequently used items.
+pub mod prelude {
+    pub use crate::chart::{BarChart, ScatterPlot};
+    pub use crate::figures::{render_conditional_bars, render_glm_table};
+    pub use crate::table::Table;
+}

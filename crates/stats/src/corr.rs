@@ -1,0 +1,126 @@
+//! Correlation coefficients: Pearson and Spearman.
+//!
+//! Section V of the paper reports Pearson correlation between the number
+//! of jobs assigned to a node and its failure count (0.465 and 0.12 for
+//! systems 8 and 20), and notes the correlation is dominated by node 0.
+//! Spearman is provided as the rank-based robustness check.
+
+use crate::summary::ranks;
+
+/// Pearson product-moment correlation between two equal-length samples.
+///
+/// Returns `None` when either sample has zero variance or fewer than two
+/// points (the coefficient is undefined there).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_stats::corr::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "samples must have equal lengths");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        None
+    } else {
+        Some(sxy / (sxx * syy).sqrt())
+    }
+}
+
+/// Spearman rank correlation: Pearson correlation of midranks.
+///
+/// Returns `None` under the same conditions as [`pearson`] (after
+/// ranking), e.g. when one sample is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "samples must have equal lengths");
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[10.0, 20.0, 30.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_correlation_orthogonal() {
+        let x = [-1.0, 0.0, 1.0];
+        let y = [1.0, -2.0, 1.0]; // symmetric around x = 0
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_undefined() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(pearson(&[0.5], &[0.1]), None);
+    }
+
+    #[test]
+    fn outlier_dominates_pearson_but_not_spearman() {
+        // Mirrors the node-0 effect: one high-usage high-failure outlier
+        // creates strong linear correlation in otherwise noise.
+        let x = [1.0, 2.0, 1.5, 2.5, 1.2, 100.0];
+        let y = [3.0, 1.0, 2.0, 1.5, 2.8, 50.0];
+        let r_all = pearson(&x, &y).unwrap();
+        let r_wo = pearson(&x[..5], &y[..5]).unwrap();
+        assert!(r_all > 0.9);
+        assert!(r_wo < 0.0); // without the outlier the cloud is negative
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho < r_all); // rank correlation discounts the outlier
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0]; // y = x^3
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho > 0.9 && rho <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

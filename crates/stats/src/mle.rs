@@ -1,0 +1,501 @@
+//! Maximum-likelihood fitting of inter-arrival-time distributions, with
+//! Kolmogorov-Smirnov goodness of fit and AIC model selection.
+//!
+//! The failure-modeling literature the paper builds on (Schroeder &
+//! Gibson DSN'06 and the correlation-modeling work cited in Section I)
+//! characterizes failure inter-arrival times with exponential, Weibull,
+//! gamma and lognormal fits; a Weibull shape below 1 is the classic
+//! signature of the clustering the paper studies. This module provides
+//! those fits for the toolkit's inter-arrival analysis.
+
+use crate::dist::{Distribution, Exponential, GammaDist, LogNormal, Weibull};
+use crate::special::digamma;
+use std::fmt;
+
+/// The candidate families for inter-arrival fitting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FittedDistribution {
+    /// Exponential with the given rate (memoryless baseline).
+    Exponential {
+        /// Rate parameter (1 / mean).
+        rate: f64,
+    },
+    /// Weibull with shape `k` and scale `lambda`; `k < 1` means a
+    /// decreasing hazard — failures cluster.
+    Weibull {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Log-normal with log-mean `mu` and log-std `sigma`.
+    LogNormal {
+        /// Mean of the log.
+        mu: f64,
+        /// Standard deviation of the log.
+        sigma: f64,
+    },
+    /// Gamma with shape `alpha` and scale `theta`; `alpha < 1` likewise
+    /// indicates clustering.
+    Gamma {
+        /// Shape parameter.
+        alpha: f64,
+        /// Scale parameter.
+        theta: f64,
+    },
+}
+
+impl FittedDistribution {
+    /// Family name.
+    pub const fn family(&self) -> &'static str {
+        match self {
+            FittedDistribution::Exponential { .. } => "exponential",
+            FittedDistribution::Weibull { .. } => "weibull",
+            FittedDistribution::LogNormal { .. } => "lognormal",
+            FittedDistribution::Gamma { .. } => "gamma",
+        }
+    }
+
+    /// Number of free parameters (for AIC).
+    pub const fn n_params(&self) -> usize {
+        match self {
+            FittedDistribution::Exponential { .. } => 1,
+            _ => 2,
+        }
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            FittedDistribution::Exponential { rate } => Exponential::new(rate).cdf(x),
+            FittedDistribution::Weibull { shape, scale } => Weibull::new(shape, scale).cdf(x),
+            FittedDistribution::LogNormal { mu, sigma } => LogNormal::new(mu, sigma).cdf(x),
+            FittedDistribution::Gamma { alpha, theta } => GammaDist::new(alpha, theta).cdf(x),
+        }
+    }
+
+    /// Log-likelihood of a sample under this distribution.
+    pub fn log_likelihood(&self, xs: &[f64]) -> f64 {
+        let pdf = |x: f64| -> f64 {
+            match *self {
+                FittedDistribution::Exponential { rate } => Exponential::new(rate).pdf(x),
+                FittedDistribution::Weibull { shape, scale } => Weibull::new(shape, scale).pdf(x),
+                FittedDistribution::LogNormal { mu, sigma } => LogNormal::new(mu, sigma).pdf(x),
+                FittedDistribution::Gamma { alpha, theta } => GammaDist::new(alpha, theta).pdf(x),
+            }
+        };
+        xs.iter().map(|&x| pdf(x).max(1e-300).ln()).sum()
+    }
+
+    /// `true` if the fit indicates a decreasing hazard rate (failure
+    /// clustering): Weibull/gamma shape below 1.
+    pub fn decreasing_hazard(&self) -> Option<bool> {
+        match *self {
+            FittedDistribution::Weibull { shape, .. } => Some(shape < 1.0),
+            FittedDistribution::Gamma { alpha, .. } => Some(alpha < 1.0),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FittedDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FittedDistribution::Exponential { rate } => {
+                write!(f, "exponential(rate={rate:.4})")
+            }
+            FittedDistribution::Weibull { shape, scale } => {
+                write!(f, "weibull(shape={shape:.3}, scale={scale:.2})")
+            }
+            FittedDistribution::LogNormal { mu, sigma } => {
+                write!(f, "lognormal(mu={mu:.3}, sigma={sigma:.3})")
+            }
+            FittedDistribution::Gamma { alpha, theta } => {
+                write!(f, "gamma(shape={alpha:.3}, scale={theta:.2})")
+            }
+        }
+    }
+}
+
+/// Error returned when a sample cannot be fitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    what: String,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot fit distribution: {}", self.what)
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn validate(xs: &[f64], min_n: usize) -> Result<(), FitError> {
+    if xs.len() < min_n {
+        return Err(FitError {
+            what: format!("need at least {min_n} observations"),
+        });
+    }
+    if xs.iter().any(|&x| !x.is_finite() || x <= 0.0) {
+        return Err(FitError {
+            what: "observations must be positive and finite".into(),
+        });
+    }
+    Ok(())
+}
+
+/// MLE for the exponential distribution: `rate = 1 / mean`.
+///
+/// # Errors
+///
+/// [`FitError`] for fewer than 2 observations or non-positive values.
+pub fn fit_exponential(xs: &[f64]) -> Result<FittedDistribution, FitError> {
+    validate(xs, 2)?;
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    Ok(FittedDistribution::Exponential { rate: 1.0 / mean })
+}
+
+/// MLE for the log-normal distribution (exact: moments of `ln x`).
+///
+/// # Errors
+///
+/// [`FitError`] for fewer than 2 observations, non-positive values, or
+/// a degenerate (constant) sample.
+pub fn fit_lognormal(xs: &[f64]) -> Result<FittedDistribution, FitError> {
+    validate(xs, 2)?;
+    let n = xs.len() as f64;
+    let logs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|l| (l - mu) * (l - mu)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return Err(FitError {
+            what: "sample is constant".into(),
+        });
+    }
+    Ok(FittedDistribution::LogNormal {
+        mu,
+        sigma: var.sqrt(),
+    })
+}
+
+/// MLE for the Weibull distribution via Newton iteration on the profile
+/// likelihood in the shape parameter.
+///
+/// # Errors
+///
+/// [`FitError`] for fewer than 3 observations, non-positive values, a
+/// constant sample, or non-convergence.
+pub fn fit_weibull(xs: &[f64]) -> Result<FittedDistribution, FitError> {
+    validate(xs, 3)?;
+    let n = xs.len() as f64;
+    let logs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    let mean_log = logs.iter().sum::<f64>() / n;
+    let var_log = logs
+        .iter()
+        .map(|l| (l - mean_log) * (l - mean_log))
+        .sum::<f64>()
+        / n;
+    if var_log <= 0.0 {
+        return Err(FitError {
+            what: "sample is constant".into(),
+        });
+    }
+    // Method-of-moments start: sd(ln X) = pi / (k sqrt(6)).
+    let mut k = (std::f64::consts::PI / (var_log.sqrt() * 6f64.sqrt())).clamp(0.02, 100.0);
+
+    // Newton on g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean_log = 0.
+    for _ in 0..200 {
+        let mut s0 = 0.0; // sum x^k
+        let mut s1 = 0.0; // sum x^k ln x
+        let mut s2 = 0.0; // sum x^k (ln x)^2
+        for (&x, &lx) in xs.iter().zip(&logs) {
+            let xk = x.powf(k);
+            s0 += xk;
+            s1 += xk * lx;
+            s2 += xk * lx * lx;
+        }
+        let g = s1 / s0 - 1.0 / k - mean_log;
+        let dg = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        if dg.abs() < 1e-300 {
+            break;
+        }
+        let step = g / dg;
+        let next = (k - step).clamp(k / 3.0, k * 3.0).clamp(1e-3, 1e3);
+        if (next - k).abs() < 1e-10 * (k + 1.0) {
+            k = next;
+            break;
+        }
+        k = next;
+    }
+    let scale = (xs.iter().map(|&x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    if !k.is_finite() || !scale.is_finite() || scale <= 0.0 {
+        return Err(FitError {
+            what: "weibull fit did not converge".into(),
+        });
+    }
+    Ok(FittedDistribution::Weibull { shape: k, scale })
+}
+
+/// MLE for the gamma distribution via Newton iteration on the digamma
+/// equation `ln(alpha) - psi(alpha) = ln(mean) - mean(ln x)`.
+///
+/// # Errors
+///
+/// [`FitError`] for fewer than 3 observations, non-positive values or a
+/// constant sample.
+pub fn fit_gamma(xs: &[f64]) -> Result<FittedDistribution, FitError> {
+    validate(xs, 3)?;
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let mean_log = xs.iter().map(|&x| x.ln()).sum::<f64>() / n;
+    let s = mean.ln() - mean_log;
+    if s <= 0.0 {
+        return Err(FitError {
+            what: "sample is constant".into(),
+        });
+    }
+    // Minka's initialization.
+    let mut alpha = (3.0 - s + ((s - 3.0) * (s - 3.0) + 24.0 * s).sqrt()) / (12.0 * s);
+    for _ in 0..100 {
+        let f = alpha.ln() - digamma(alpha) - s;
+        let df = 1.0 / alpha - crate::special::trigamma(alpha);
+        if df.abs() < 1e-300 {
+            break;
+        }
+        let next = (alpha - f / df)
+            .clamp(alpha / 3.0, alpha * 3.0)
+            .clamp(1e-4, 1e6);
+        if (next - alpha).abs() < 1e-12 * (alpha + 1.0) {
+            alpha = next;
+            break;
+        }
+        alpha = next;
+    }
+    Ok(FittedDistribution::Gamma {
+        alpha,
+        theta: mean / alpha,
+    })
+}
+
+/// The one-sample Kolmogorov-Smirnov statistic `D = sup |F_n - F|`
+/// against a fitted distribution, with an asymptotic p-value.
+///
+/// (The p-value is the classic asymptotic one; with estimated
+/// parameters it is optimistic, which is fine for *ranking* fits.)
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-finite values.
+pub fn ks_test(xs: &[f64], dist: &FittedDistribution) -> (f64, f64) {
+    assert!(!xs.is_empty(), "KS test needs observations");
+    assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "KS test requires finite values"
+    );
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    // Kolmogorov asymptotic tail.
+    let t = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    let mut p = 0.0;
+    for j in 1..=100 {
+        let jf = j as f64;
+        let term = 2.0 * (-1.0f64).powi(j + 1) * (-2.0 * jf * jf * t * t).exp();
+        p += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    (d, p.clamp(0.0, 1.0))
+}
+
+/// One candidate in a model-selection ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedFit {
+    /// The fitted distribution.
+    pub dist: FittedDistribution,
+    /// Maximized log-likelihood.
+    pub log_likelihood: f64,
+    /// Akaike information criterion (lower is better).
+    pub aic: f64,
+    /// KS statistic against the sample.
+    pub ks_statistic: f64,
+    /// Asymptotic KS p-value.
+    pub ks_p_value: f64,
+}
+
+/// Fits all candidate families to a sample and ranks them by AIC
+/// (best first). Families that fail to fit are skipped.
+///
+/// # Errors
+///
+/// [`FitError`] if *no* family could be fitted.
+pub fn rank_fits(xs: &[f64]) -> Result<Vec<RankedFit>, FitError> {
+    let candidates = [
+        fit_exponential(xs),
+        fit_weibull(xs),
+        fit_lognormal(xs),
+        fit_gamma(xs),
+    ];
+    let mut out = Vec::new();
+    for dist in candidates.into_iter().flatten() {
+        let ll = dist.log_likelihood(xs);
+        if !ll.is_finite() {
+            continue;
+        }
+        let (d, p) = ks_test(xs, &dist);
+        out.push(RankedFit {
+            dist,
+            log_likelihood: ll,
+            aic: -2.0 * ll + 2.0 * dist.n_params() as f64,
+            ks_statistic: d,
+            ks_p_value: p,
+        });
+    }
+    if out.is_empty() {
+        return Err(FitError {
+            what: "no candidate family could be fitted".into(),
+        });
+    }
+    out.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("AICs are finite"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential as ExpDist, Weibull as WeibullDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample<D: Distribution>(d: &D, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_mle_recovers_rate() {
+        let xs = sample(&ExpDist::new(0.5), 20_000, 1);
+        let FittedDistribution::Exponential { rate } = fit_exponential(&xs).unwrap() else {
+            panic!("wrong family");
+        };
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn weibull_mle_recovers_shape_and_scale() {
+        for (shape, scale, seed) in [(0.7, 10.0, 2u64), (1.0, 3.0, 3), (2.2, 5.0, 4)] {
+            let xs = sample(&WeibullDist::new(shape, scale), 20_000, seed);
+            let FittedDistribution::Weibull { shape: k, scale: l } = fit_weibull(&xs).unwrap()
+            else {
+                panic!("wrong family");
+            };
+            assert!(
+                (k - shape).abs() < 0.05 * shape + 0.02,
+                "shape {k} vs {shape}"
+            );
+            assert!(
+                (l - scale).abs() < 0.05 * scale + 0.05,
+                "scale {l} vs {scale}"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_mle_exact_for_moments() {
+        let xs = sample(&LogNormal::new(1.0, 0.5), 20_000, 5);
+        let FittedDistribution::LogNormal { mu, sigma } = fit_lognormal(&xs).unwrap() else {
+            panic!("wrong family");
+        };
+        assert!((mu - 1.0).abs() < 0.02, "mu {mu}");
+        assert!((sigma - 0.5).abs() < 0.02, "sigma {sigma}");
+    }
+
+    #[test]
+    fn gamma_mle_recovers_shape() {
+        let xs = sample(&GammaDist::new(2.5, 4.0), 20_000, 6);
+        let FittedDistribution::Gamma { alpha, theta } = fit_gamma(&xs).unwrap() else {
+            panic!("wrong family");
+        };
+        assert!((alpha - 2.5).abs() < 0.12, "alpha {alpha}");
+        assert!((theta - 4.0).abs() < 0.25, "theta {theta}");
+    }
+
+    #[test]
+    fn decreasing_hazard_detected() {
+        let clustered = sample(&WeibullDist::new(0.6, 10.0), 5000, 7);
+        let fit = fit_weibull(&clustered).unwrap();
+        assert_eq!(fit.decreasing_hazard(), Some(true));
+        let regular = sample(&WeibullDist::new(2.0, 10.0), 5000, 8);
+        let fit = fit_weibull(&regular).unwrap();
+        assert_eq!(fit.decreasing_hazard(), Some(false));
+        assert_eq!(fit_exponential(&regular).unwrap().decreasing_hazard(), None);
+    }
+
+    #[test]
+    fn ks_accepts_true_distribution_rejects_wrong_one() {
+        let xs = sample(&ExpDist::new(1.0), 2000, 9);
+        let right = FittedDistribution::Exponential { rate: 1.0 };
+        let (_, p_right) = ks_test(&xs, &right);
+        assert!(p_right > 0.01, "true model rejected, p {p_right}");
+        let wrong = FittedDistribution::Exponential { rate: 3.0 };
+        let (_, p_wrong) = ks_test(&xs, &wrong);
+        assert!(p_wrong < 1e-6, "wrong model accepted, p {p_wrong}");
+    }
+
+    #[test]
+    fn aic_ranks_true_family_first() {
+        // Strongly clustered Weibull data: weibull/gamma must beat
+        // exponential.
+        let xs = sample(&WeibullDist::new(0.5, 10.0), 5000, 10);
+        let ranked = rank_fits(&xs).unwrap();
+        assert!(ranked.len() >= 3);
+        assert_ne!(ranked[0].dist.family(), "exponential", "{:?}", ranked[0]);
+        let exp_aic = ranked
+            .iter()
+            .find(|r| r.dist.family() == "exponential")
+            .unwrap()
+            .aic;
+        assert!(ranked[0].aic < exp_aic - 10.0);
+    }
+
+    #[test]
+    fn exponential_data_keeps_exponential_competitive() {
+        let xs = sample(&ExpDist::new(0.2), 5000, 11);
+        let ranked = rank_fits(&xs).unwrap();
+        // Weibull nests exponential, so AICs sit within a few points.
+        let best = ranked[0].aic;
+        let exp_aic = ranked
+            .iter()
+            .find(|r| r.dist.family() == "exponential")
+            .unwrap()
+            .aic;
+        assert!(exp_aic - best < 6.0, "exp {exp_aic} vs best {best}");
+    }
+
+    #[test]
+    fn fit_errors_are_informative() {
+        assert!(fit_exponential(&[1.0]).is_err());
+        assert!(fit_weibull(&[1.0, -2.0, 3.0]).is_err());
+        assert!(fit_lognormal(&[2.0, 2.0, 2.0]).is_err());
+        let err = fit_gamma(&[5.0, 5.0, 5.0]).unwrap_err();
+        assert!(err.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = FittedDistribution::Weibull {
+            shape: 0.75,
+            scale: 12.0,
+        };
+        assert_eq!(d.to_string(), "weibull(shape=0.750, scale=12.00)");
+    }
+}

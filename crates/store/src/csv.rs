@@ -1,0 +1,906 @@
+//! LANL-style CSV ingest and export.
+//!
+//! The public LANL release ships comma-separated record files; this
+//! module reads and writes an equivalent schema so real or synthetic
+//! traces can round-trip through plain files:
+//!
+//! | file | columns |
+//! |---|---|
+//! | `systems.csv` | `id,name,nodes,procs_per_node,hardware,start,end,has_layout,has_job_log,has_temperature` |
+//! | `failures.csv` | `system,node,time,root_cause,sub_cause,downtime` |
+//! | `jobs.csv` | `system,job_id,user,submit,dispatch,end,procs,nodes` (nodes `;`-separated) |
+//! | `temperatures.csv` | `system,node,time,celsius` |
+//! | `maintenance.csv` | `system,node,time,hardware_related,scheduled` |
+//! | `neutron.csv` | `time,counts_per_minute` |
+//! | `layout.csv` | `system,node,rack,position_in_rack,room_row,room_col` |
+//!
+//! Sub-causes are namespaced (`HW:CPU`, `SW:DST`, `ENV:UPS`, `-`).
+//! All timestamps are integer seconds since the trace epoch.
+
+use crate::trace::{SystemTrace, SystemTraceBuilder, Trace};
+use hpcfail_types::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from CSV reading or writing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses one CSV line into typed fields with line-number context.
+struct Fields<'a> {
+    parts: Vec<&'a str>,
+    line: usize,
+    cursor: usize,
+}
+
+impl<'a> Fields<'a> {
+    fn new(s: &'a str, line: usize, expected: usize) -> Result<Self, CsvError> {
+        let parts: Vec<&str> = s.split(',').collect();
+        if parts.len() != expected {
+            return Err(CsvError::Parse {
+                line,
+                message: format!("expected {expected} fields, found {}", parts.len()),
+            });
+        }
+        Ok(Fields {
+            parts,
+            line,
+            cursor: 0,
+        })
+    }
+
+    fn next_str(&mut self) -> &'a str {
+        let s = self.parts[self.cursor];
+        self.cursor += 1;
+        s
+    }
+
+    fn next<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, CsvError>
+    where
+        T::Err: fmt::Display,
+    {
+        let raw = self.next_str();
+        raw.parse().map_err(|e| CsvError::Parse {
+            line: self.line,
+            message: format!("bad {what} {raw:?}: {e}"),
+        })
+    }
+}
+
+fn sub_cause_label(sub: SubCause) -> String {
+    match sub {
+        SubCause::None => "-".to_owned(),
+        SubCause::Hardware(c) => format!("HW:{}", c.label()),
+        SubCause::Software(c) => format!("SW:{}", c.label()),
+        SubCause::Environment(c) => format!("ENV:{}", c.label()),
+    }
+}
+
+fn parse_sub_cause(raw: &str, line: usize) -> Result<SubCause, CsvError> {
+    if raw == "-" || raw.is_empty() {
+        return Ok(SubCause::None);
+    }
+    let err = |msg: String| CsvError::Parse { line, message: msg };
+    let (ns, rest) = raw
+        .split_once(':')
+        .ok_or_else(|| err(format!("bad sub-cause {raw:?}: missing namespace")))?;
+    match ns {
+        "HW" => rest
+            .parse::<HardwareComponent>()
+            .map(SubCause::Hardware)
+            .map_err(|e| err(format!("bad sub-cause {raw:?}: {e}"))),
+        "SW" => rest
+            .parse::<SoftwareCause>()
+            .map(SubCause::Software)
+            .map_err(|e| err(format!("bad sub-cause {raw:?}: {e}"))),
+        "ENV" => rest
+            .parse::<EnvironmentCause>()
+            .map(SubCause::Environment)
+            .map_err(|e| err(format!("bad sub-cause {raw:?}: {e}"))),
+        _ => Err(err(format!("bad sub-cause namespace {ns:?}"))),
+    }
+}
+
+/// Writes failure records. Pass `&mut w` to keep using the writer.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_failures<W: Write>(mut w: W, records: &[FailureRecord]) -> Result<(), CsvError> {
+    writeln!(w, "system,node,time,root_cause,sub_cause,downtime")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{}",
+            r.system.raw(),
+            r.node.raw(),
+            r.time.as_seconds(),
+            r.root_cause.label(),
+            sub_cause_label(r.sub_cause),
+            r.downtime
+                .map_or(String::new(), |d| d.as_seconds().to_string()),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads failure records written by [`write_failures`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_failures<R: Read>(r: R) -> Result<Vec<FailureRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut f = Fields::new(&line, lineno, 6)?;
+        let system = SystemId::new(f.next("system id")?);
+        let node = NodeId::new(f.next("node id")?);
+        let time = Timestamp::from_seconds(f.next("time")?);
+        let root: RootCause = f.next("root cause")?;
+        let sub = parse_sub_cause(f.next_str(), lineno)?;
+        if !sub.consistent_with(root) {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("sub-cause {sub} inconsistent with root cause {root}"),
+            });
+        }
+        let downtime_raw = f.next_str();
+        let mut record = FailureRecord::new(system, node, time, root, sub);
+        if !downtime_raw.is_empty() {
+            let secs: i64 = downtime_raw.parse().map_err(|e| CsvError::Parse {
+                line: lineno,
+                message: format!("bad downtime {downtime_raw:?}: {e}"),
+            })?;
+            record = record.with_downtime(Duration::from_seconds(secs));
+        }
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Writes job records.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_jobs<W: Write>(mut w: W, records: &[JobRecord]) -> Result<(), CsvError> {
+    writeln!(w, "system,job_id,user,submit,dispatch,end,procs,nodes")?;
+    for j in records {
+        let nodes: Vec<String> = j.nodes.iter().map(|n| n.raw().to_string()).collect();
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            j.system.raw(),
+            j.job_id.raw(),
+            j.user.raw(),
+            j.submit.as_seconds(),
+            j.dispatch.as_seconds(),
+            j.end.as_seconds(),
+            j.procs,
+            nodes.join(";"),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads job records written by [`write_jobs`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_jobs<R: Read>(r: R) -> Result<Vec<JobRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut f = Fields::new(&line, lineno, 8)?;
+        let system = SystemId::new(f.next("system id")?);
+        let job_id = JobId::new(f.next("job id")?);
+        let user = UserId::new(f.next("user id")?);
+        let submit = Timestamp::from_seconds(f.next("submit")?);
+        let dispatch = Timestamp::from_seconds(f.next("dispatch")?);
+        let end = Timestamp::from_seconds(f.next("end")?);
+        let procs = f.next("procs")?;
+        let nodes_raw = f.next_str();
+        let mut nodes = Vec::new();
+        for part in nodes_raw.split(';').filter(|p| !p.is_empty()) {
+            let raw: u32 = part.parse().map_err(|e| CsvError::Parse {
+                line: lineno,
+                message: format!("bad node id {part:?}: {e}"),
+            })?;
+            nodes.push(NodeId::new(raw));
+        }
+        out.push(JobRecord {
+            system,
+            job_id,
+            user,
+            submit,
+            dispatch,
+            end,
+            procs,
+            nodes,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes temperature samples.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_temperatures<W: Write>(
+    mut w: W,
+    samples: &[TemperatureSample],
+) -> Result<(), CsvError> {
+    writeln!(w, "system,node,time,celsius")?;
+    for s in samples {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            s.system.raw(),
+            s.node.raw(),
+            s.time.as_seconds(),
+            s.celsius
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads temperature samples written by [`write_temperatures`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_temperatures<R: Read>(r: R) -> Result<Vec<TemperatureSample>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() {
+            continue;
+        }
+        let mut f = Fields::new(&line, idx + 1, 4)?;
+        out.push(TemperatureSample {
+            system: SystemId::new(f.next("system id")?),
+            node: NodeId::new(f.next("node id")?),
+            time: Timestamp::from_seconds(f.next("time")?),
+            celsius: f.next("temperature")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes maintenance records.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_maintenance<W: Write>(
+    mut w: W,
+    records: &[MaintenanceRecord],
+) -> Result<(), CsvError> {
+    writeln!(w, "system,node,time,hardware_related,scheduled")?;
+    for m in records {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            m.system.raw(),
+            m.node.raw(),
+            m.time.as_seconds(),
+            u8::from(m.hardware_related),
+            u8::from(m.scheduled),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads maintenance records written by [`write_maintenance`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_maintenance<R: Read>(r: R) -> Result<Vec<MaintenanceRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut f = Fields::new(&line, lineno, 5)?;
+        let system = SystemId::new(f.next("system id")?);
+        let node = NodeId::new(f.next("node id")?);
+        let time = Timestamp::from_seconds(f.next("time")?);
+        let hw: u8 = f.next("hardware_related flag")?;
+        let sched: u8 = f.next("scheduled flag")?;
+        out.push(MaintenanceRecord {
+            system,
+            node,
+            time,
+            hardware_related: hw != 0,
+            scheduled: sched != 0,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes neutron-monitor samples.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_neutron<W: Write>(mut w: W, samples: &[NeutronSample]) -> Result<(), CsvError> {
+    writeln!(w, "time,counts_per_minute")?;
+    for s in samples {
+        writeln!(w, "{},{}", s.time.as_seconds(), s.counts_per_minute)?;
+    }
+    Ok(())
+}
+
+/// Reads neutron-monitor samples written by [`write_neutron`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_neutron<R: Read>(r: R) -> Result<Vec<NeutronSample>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() {
+            continue;
+        }
+        let mut f = Fields::new(&line, idx + 1, 2)?;
+        out.push(NeutronSample {
+            time: Timestamp::from_seconds(f.next("time")?),
+            counts_per_minute: f.next("counts")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Writes one system's machine-room layout.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_layout<W: Write>(
+    mut w: W,
+    system: SystemId,
+    layout: &MachineLayout,
+) -> Result<(), CsvError> {
+    writeln!(w, "system,node,rack,position_in_rack,room_row,room_col")?;
+    for (node, loc) in layout.iter() {
+        writeln!(
+            w,
+            "{},{},{},{},{},{}",
+            system.raw(),
+            node.raw(),
+            loc.rack.raw(),
+            loc.position_in_rack,
+            loc.room_row,
+            loc.room_col,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads layouts written by [`write_layout`] (possibly several systems
+/// concatenated), keyed by system id.
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_layouts<R: Read>(r: R) -> Result<BTreeMap<SystemId, MachineLayout>, CsvError> {
+    let mut out: BTreeMap<SystemId, MachineLayout> = BTreeMap::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() || line.starts_with("system,") {
+            continue;
+        }
+        let mut f = Fields::new(&line, idx + 1, 6)?;
+        let system = SystemId::new(f.next("system id")?);
+        let node = NodeId::new(f.next("node id")?);
+        let loc = NodeLocation {
+            rack: RackId::new(f.next("rack id")?),
+            position_in_rack: f.next("position in rack")?,
+            room_row: f.next("room row")?,
+            room_col: f.next("room column")?,
+        };
+        out.entry(system).or_default().place(node, loc);
+    }
+    Ok(out)
+}
+
+fn hardware_label(h: HardwareClass) -> &'static str {
+    match h {
+        HardwareClass::Smp4Way => "SMP4",
+        HardwareClass::Numa => "NUMA",
+    }
+}
+
+/// Writes system configurations.
+///
+/// # Errors
+///
+/// Any I/O failure from the writer.
+pub fn write_system_configs<W: Write>(mut w: W, configs: &[SystemConfig]) -> Result<(), CsvError> {
+    writeln!(
+        w,
+        "id,name,nodes,procs_per_node,hardware,start,end,has_layout,has_job_log,has_temperature"
+    )?;
+    for c in configs {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{}",
+            c.id.raw(),
+            c.name,
+            c.nodes,
+            c.procs_per_node,
+            hardware_label(c.hardware),
+            c.start.as_seconds(),
+            c.end.as_seconds(),
+            u8::from(c.has_layout),
+            u8::from(c.has_job_log),
+            u8::from(c.has_temperature),
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads system configurations written by [`write_system_configs`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines.
+pub fn read_system_configs<R: Read>(r: R) -> Result<Vec<SystemConfig>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(r).lines().enumerate() {
+        let line = line?;
+        if idx == 0 || line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut f = Fields::new(&line, lineno, 10)?;
+        let id = SystemId::new(f.next("system id")?);
+        let name = f.next_str().to_owned();
+        let nodes = f.next("node count")?;
+        let procs_per_node = f.next("procs per node")?;
+        let hardware = match f.next_str() {
+            "SMP4" => HardwareClass::Smp4Way,
+            "NUMA" => HardwareClass::Numa,
+            other => {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    message: format!("unknown hardware class {other:?}"),
+                })
+            }
+        };
+        let start = Timestamp::from_seconds(f.next("start")?);
+        let end = Timestamp::from_seconds(f.next("end")?);
+        let has_layout = f.next::<u8>("has_layout")? != 0;
+        let has_job_log = f.next::<u8>("has_job_log")? != 0;
+        let has_temperature = f.next::<u8>("has_temperature")? != 0;
+        out.push(SystemConfig {
+            id,
+            name,
+            nodes,
+            procs_per_node,
+            hardware,
+            start,
+            end,
+            has_layout,
+            has_job_log,
+            has_temperature,
+        });
+    }
+    Ok(out)
+}
+
+/// Saves a full trace as a directory of CSV files.
+///
+/// # Errors
+///
+/// I/O failures creating the directory or writing any file.
+pub fn save_trace<P: AsRef<Path>>(dir: P, trace: &Trace) -> Result<(), CsvError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let configs: Vec<SystemConfig> = trace.systems().map(|s| s.config().clone()).collect();
+    write_system_configs(std::fs::File::create(dir.join("systems.csv"))?, &configs)?;
+
+    let mut failures = std::fs::File::create(dir.join("failures.csv"))?;
+    let mut jobs = std::fs::File::create(dir.join("jobs.csv"))?;
+    let mut temps = std::fs::File::create(dir.join("temperatures.csv"))?;
+    let mut maint = std::fs::File::create(dir.join("maintenance.csv"))?;
+    let mut layout = std::fs::File::create(dir.join("layout.csv"))?;
+    let mut wrote_header = (false, false, false, false, false);
+    for s in trace.systems() {
+        if !wrote_header.0 {
+            write_failures(&mut failures, s.failures())?;
+            wrote_header.0 = true;
+        } else {
+            append_failures(&mut failures, s.failures())?;
+        }
+        if !wrote_header.1 {
+            write_jobs(&mut jobs, s.jobs())?;
+            wrote_header.1 = true;
+        } else {
+            append_jobs(&mut jobs, s.jobs())?;
+        }
+        if !wrote_header.2 {
+            write_temperatures(&mut temps, s.temperatures())?;
+            wrote_header.2 = true;
+        } else {
+            append_temperatures(&mut temps, s.temperatures())?;
+        }
+        if !wrote_header.3 {
+            write_maintenance(&mut maint, s.maintenance())?;
+            wrote_header.3 = true;
+        } else {
+            append_maintenance(&mut maint, s.maintenance())?;
+        }
+        if let Some(l) = s.layout() {
+            write_layout(&mut layout, s.id(), l)?;
+            wrote_header.4 = true;
+        }
+    }
+    write_neutron(
+        std::fs::File::create(dir.join("neutron.csv"))?,
+        trace.neutron_samples(),
+    )?;
+    Ok(())
+}
+
+fn append_failures<W: Write>(w: W, records: &[FailureRecord]) -> Result<(), CsvError> {
+    let mut buf = Vec::new();
+    write_failures(&mut buf, records)?;
+    skip_header_and_copy(w, &buf)
+}
+
+fn append_jobs<W: Write>(w: W, records: &[JobRecord]) -> Result<(), CsvError> {
+    let mut buf = Vec::new();
+    write_jobs(&mut buf, records)?;
+    skip_header_and_copy(w, &buf)
+}
+
+fn append_temperatures<W: Write>(w: W, records: &[TemperatureSample]) -> Result<(), CsvError> {
+    let mut buf = Vec::new();
+    write_temperatures(&mut buf, records)?;
+    skip_header_and_copy(w, &buf)
+}
+
+fn append_maintenance<W: Write>(w: W, records: &[MaintenanceRecord]) -> Result<(), CsvError> {
+    let mut buf = Vec::new();
+    write_maintenance(&mut buf, records)?;
+    skip_header_and_copy(w, &buf)
+}
+
+fn skip_header_and_copy<W: Write>(mut w: W, buf: &[u8]) -> Result<(), CsvError> {
+    let body_start = buf
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(buf.len(), |i| i + 1);
+    w.write_all(&buf[body_start..])?;
+    Ok(())
+}
+
+/// Loads a trace saved by [`save_trace`].
+///
+/// # Errors
+///
+/// I/O failures and malformed lines. Records referencing a system id
+/// absent from `systems.csv` are rejected.
+pub fn load_trace<P: AsRef<Path>>(dir: P) -> Result<Trace, CsvError> {
+    let dir = dir.as_ref();
+    let configs = read_system_configs(std::fs::File::open(dir.join("systems.csv"))?)?;
+    let mut builders: BTreeMap<SystemId, SystemTraceBuilder> = configs
+        .into_iter()
+        .map(|c| (c.id, SystemTraceBuilder::new(c)))
+        .collect();
+
+    let unknown = |sys: SystemId| CsvError::Parse {
+        line: 0,
+        message: format!("record references unknown system {sys}"),
+    };
+
+    for r in read_failures(std::fs::File::open(dir.join("failures.csv"))?)? {
+        builders
+            .get_mut(&r.system)
+            .ok_or_else(|| unknown(r.system))?
+            .push_failure(r);
+    }
+    for j in read_jobs(std::fs::File::open(dir.join("jobs.csv"))?)? {
+        let sys = j.system;
+        builders
+            .get_mut(&sys)
+            .ok_or_else(|| unknown(sys))?
+            .push_job(j);
+    }
+    for t in read_temperatures(std::fs::File::open(dir.join("temperatures.csv"))?)? {
+        builders
+            .get_mut(&t.system)
+            .ok_or_else(|| unknown(t.system))?
+            .push_temperature(t);
+    }
+    for m in read_maintenance(std::fs::File::open(dir.join("maintenance.csv"))?)? {
+        builders
+            .get_mut(&m.system)
+            .ok_or_else(|| unknown(m.system))?
+            .push_maintenance(m);
+    }
+    for (sys, layout) in read_layouts(std::fs::File::open(dir.join("layout.csv"))?)? {
+        builders
+            .get_mut(&sys)
+            .ok_or_else(|| unknown(sys))?
+            .layout(layout);
+    }
+
+    let mut trace = Trace::new();
+    for (_, b) in builders {
+        trace.insert_system(b.build());
+    }
+    trace.set_neutron_samples(read_neutron(std::fs::File::open(dir.join("neutron.csv"))?)?);
+    Ok(trace)
+}
+
+/// Convenience: one system's records round-tripped through buffers,
+/// used by tests and the quickstart example.
+pub fn system_to_csv_strings(system: &SystemTrace) -> (String, String) {
+    let mut failures = Vec::new();
+    write_failures(&mut failures, system.failures()).expect("in-memory write cannot fail");
+    let mut jobs = Vec::new();
+    write_jobs(&mut jobs, system.jobs()).expect("in-memory write cannot fail");
+    (
+        String::from_utf8(failures).expect("CSV output is UTF-8"),
+        String::from_utf8(jobs).expect("CSV output is UTF-8"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_failures() -> Vec<FailureRecord> {
+        vec![
+            FailureRecord::new(
+                SystemId::new(20),
+                NodeId::new(0),
+                Timestamp::from_seconds(1000),
+                RootCause::Hardware,
+                SubCause::Hardware(HardwareComponent::MemoryDimm),
+            )
+            .with_downtime(Duration::from_seconds(3600)),
+            FailureRecord::new(
+                SystemId::new(20),
+                NodeId::new(5),
+                Timestamp::from_seconds(2000),
+                RootCause::Environment,
+                SubCause::Environment(EnvironmentCause::PowerOutage),
+            ),
+            FailureRecord::new(
+                SystemId::new(20),
+                NodeId::new(7),
+                Timestamp::from_seconds(3000),
+                RootCause::Undetermined,
+                SubCause::None,
+            ),
+        ]
+    }
+
+    #[test]
+    fn failures_roundtrip() {
+        let records = sample_failures();
+        let mut buf = Vec::new();
+        write_failures(&mut buf, &records).unwrap();
+        let parsed = read_failures(&buf[..]).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn failures_reject_bad_root_cause() {
+        let csv = "system,node,time,root_cause,sub_cause,downtime\n20,0,10,BOGUS,-,\n";
+        let err = read_failures(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn failures_reject_inconsistent_subcause() {
+        let csv = "system,node,time,root_cause,sub_cause,downtime\n20,0,10,NET,HW:CPU,\n";
+        let err = read_failures(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn failures_reject_wrong_field_count() {
+        let csv = "system,node,time,root_cause,sub_cause,downtime\n20,0,10,HW\n";
+        let err = read_failures(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 6 fields"));
+    }
+
+    #[test]
+    fn jobs_roundtrip() {
+        let jobs = vec![JobRecord {
+            system: SystemId::new(8),
+            job_id: JobId::new(42),
+            user: UserId::new(3),
+            submit: Timestamp::from_seconds(100),
+            dispatch: Timestamp::from_seconds(150),
+            end: Timestamp::from_seconds(500),
+            procs: 8,
+            nodes: vec![NodeId::new(1), NodeId::new(2)],
+        }];
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs).unwrap();
+        assert_eq!(read_jobs(&buf[..]).unwrap(), jobs);
+    }
+
+    #[test]
+    fn temperatures_and_neutron_roundtrip() {
+        let temps = vec![TemperatureSample {
+            system: SystemId::new(20),
+            node: NodeId::new(9),
+            time: Timestamp::from_seconds(77),
+            celsius: 35.25,
+        }];
+        let mut buf = Vec::new();
+        write_temperatures(&mut buf, &temps).unwrap();
+        assert_eq!(read_temperatures(&buf[..]).unwrap(), temps);
+
+        let neutron = vec![NeutronSample {
+            time: Timestamp::from_seconds(1),
+            counts_per_minute: 4123.5,
+        }];
+        let mut buf = Vec::new();
+        write_neutron(&mut buf, &neutron).unwrap();
+        assert_eq!(read_neutron(&buf[..]).unwrap(), neutron);
+    }
+
+    #[test]
+    fn maintenance_roundtrip() {
+        let records = vec![MaintenanceRecord {
+            system: SystemId::new(2),
+            node: NodeId::new(1),
+            time: Timestamp::from_seconds(9),
+            hardware_related: true,
+            scheduled: false,
+        }];
+        let mut buf = Vec::new();
+        write_maintenance(&mut buf, &records).unwrap();
+        assert_eq!(read_maintenance(&buf[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn layout_roundtrip() {
+        let mut layout = MachineLayout::new();
+        for n in 0..10u32 {
+            layout.place(
+                NodeId::new(n),
+                NodeLocation {
+                    rack: RackId::new((n / 5) as u16),
+                    position_in_rack: (n % 5 + 1) as u8,
+                    room_row: 1,
+                    room_col: (n / 5) as u16,
+                },
+            );
+        }
+        let mut buf = Vec::new();
+        write_layout(&mut buf, SystemId::new(18), &layout).unwrap();
+        let parsed = read_layouts(&buf[..]).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[&SystemId::new(18)], layout);
+    }
+
+    #[test]
+    fn system_configs_roundtrip() {
+        let configs = vec![SystemConfig {
+            id: SystemId::new(23),
+            name: "numa-23".into(),
+            nodes: 5,
+            procs_per_node: 128,
+            hardware: HardwareClass::Numa,
+            start: Timestamp::EPOCH,
+            end: Timestamp::from_days(365.0),
+            has_layout: false,
+            has_job_log: false,
+            has_temperature: false,
+        }];
+        let mut buf = Vec::new();
+        write_system_configs(&mut buf, &configs).unwrap();
+        assert_eq!(read_system_configs(&buf[..]).unwrap(), configs);
+    }
+
+    #[test]
+    fn trace_directory_roundtrip() {
+        use crate::trace::SystemTraceBuilder;
+        let dir = std::env::temp_dir().join(format!("hpcfail-csv-test-{}", std::process::id()));
+        let config = SystemConfig {
+            id: SystemId::new(20),
+            name: "sys20".into(),
+            nodes: 8,
+            procs_per_node: 4,
+            hardware: HardwareClass::Smp4Way,
+            start: Timestamp::EPOCH,
+            end: Timestamp::from_days(100.0),
+            has_layout: true,
+            has_job_log: true,
+            has_temperature: true,
+        };
+        let mut b = SystemTraceBuilder::new(config);
+        for r in sample_failures() {
+            b.push_failure(r);
+        }
+        let mut layout = MachineLayout::new();
+        layout.place(
+            NodeId::new(0),
+            NodeLocation {
+                rack: RackId::new(0),
+                position_in_rack: 1,
+                room_row: 0,
+                room_col: 0,
+            },
+        );
+        b.layout(layout);
+        let mut trace = Trace::new();
+        trace.insert_system(b.build());
+        trace.set_neutron_samples(vec![NeutronSample {
+            time: Timestamp::from_seconds(5),
+            counts_per_minute: 4000.0,
+        }]);
+
+        save_trace(&dir, &trace).unwrap();
+        let loaded = load_trace(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        assert_eq!(loaded.len(), 1);
+        let sys = loaded.system(SystemId::new(20)).unwrap();
+        assert_eq!(
+            sys.failures(),
+            trace.system(SystemId::new(20)).unwrap().failures()
+        );
+        assert_eq!(sys.layout().unwrap().len(), 1);
+        assert_eq!(loaded.neutron_samples().len(), 1);
+    }
+}

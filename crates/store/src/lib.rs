@@ -1,0 +1,62 @@
+//! Indexed trace store for HPC reliability data.
+//!
+//! A [`Trace`](trace::Trace) holds the full data release — one
+//! [`SystemTrace`](trace::SystemTrace) per cluster plus fleet-wide
+//! neutron-monitor samples. System traces are immutable once built and
+//! carry per-node time indexes so window queries (the workhorse of every
+//! analysis) are cheap.
+//!
+//! - [`trace`] — the store itself and its builder.
+//! - [`query`] — window queries and empirical baseline probabilities.
+//! - [`features`] — derived per-node features (utilization, job counts,
+//!   temperature aggregates) feeding the paper's regressions.
+//! - [`csv`] — the toolkit's native CSV schema (ingest and export).
+//! - [`lanl`] — importer for CFDR-style LANL failure records
+//!   (`MM/DD/YYYY HH:MM` timestamps, `Facilities`/`Human Error` cause
+//!   labels).
+//!
+//! # Examples
+//!
+//! ```
+//! use hpcfail_store::prelude::*;
+//! use hpcfail_types::prelude::*;
+//!
+//! let config = SystemConfig {
+//!     id: SystemId::new(1),
+//!     name: "demo".into(),
+//!     nodes: 4,
+//!     procs_per_node: 4,
+//!     hardware: HardwareClass::Smp4Way,
+//!     start: Timestamp::EPOCH,
+//!     end: Timestamp::from_days(100.0),
+//!     has_layout: false,
+//!     has_job_log: false,
+//!     has_temperature: false,
+//! };
+//! let mut builder = SystemTraceBuilder::new(config);
+//! builder.push_failure(FailureRecord::new(
+//!     SystemId::new(1),
+//!     NodeId::new(2),
+//!     Timestamp::from_days(10.0),
+//!     RootCause::Hardware,
+//!     SubCause::Hardware(HardwareComponent::Cpu),
+//! ));
+//! let system = builder.build();
+//! assert_eq!(system.failures().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod features;
+pub mod lanl;
+pub mod query;
+pub mod trace;
+
+/// The most frequently used items.
+pub mod prelude {
+    pub use crate::features::{NodeFeatures, NodeUsage, TemperatureAggregate};
+    pub use crate::query::{BaselineEstimator, NodeEvents};
+    pub use crate::trace::{SystemTrace, SystemTraceBuilder, Trace};
+}

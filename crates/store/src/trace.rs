@@ -1,0 +1,570 @@
+//! The trace store: immutable, indexed collections of records.
+
+use hpcfail_types::prelude::*;
+use std::collections::BTreeMap;
+
+/// Builder for a [`SystemTrace`]; collects records in any order, then
+/// [`SystemTraceBuilder::build`] sorts and indexes them.
+#[derive(Debug, Clone)]
+pub struct SystemTraceBuilder {
+    config: SystemConfig,
+    failures: Vec<FailureRecord>,
+    jobs: Vec<JobRecord>,
+    temperatures: Vec<TemperatureSample>,
+    maintenance: Vec<MaintenanceRecord>,
+    layout: Option<MachineLayout>,
+}
+
+impl SystemTraceBuilder {
+    /// Starts a trace for the given system.
+    pub fn new(config: SystemConfig) -> Self {
+        SystemTraceBuilder {
+            config,
+            failures: Vec::new(),
+            jobs: Vec::new(),
+            temperatures: Vec::new(),
+            maintenance: Vec::new(),
+            layout: None,
+        }
+    }
+
+    /// Adds a failure record.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the record's system id or node index does
+    /// not belong to this system.
+    pub fn push_failure(&mut self, record: FailureRecord) -> &mut Self {
+        debug_assert_eq!(record.system, self.config.id, "failure from wrong system");
+        debug_assert!(
+            record.node.index() < self.config.nodes as usize,
+            "node {} out of range for {}-node system",
+            record.node,
+            self.config.nodes
+        );
+        self.failures.push(record);
+        self
+    }
+
+    /// Adds a job record.
+    pub fn push_job(&mut self, record: JobRecord) -> &mut Self {
+        debug_assert_eq!(record.system, self.config.id, "job from wrong system");
+        self.jobs.push(record);
+        self
+    }
+
+    /// Adds a temperature sample.
+    pub fn push_temperature(&mut self, sample: TemperatureSample) -> &mut Self {
+        debug_assert_eq!(sample.system, self.config.id, "sample from wrong system");
+        self.temperatures.push(sample);
+        self
+    }
+
+    /// Adds a maintenance record.
+    pub fn push_maintenance(&mut self, record: MaintenanceRecord) -> &mut Self {
+        debug_assert_eq!(
+            record.system, self.config.id,
+            "maintenance from wrong system"
+        );
+        self.maintenance.push(record);
+        self
+    }
+
+    /// Sets the machine-room layout.
+    pub fn layout(&mut self, layout: MachineLayout) -> &mut Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Sorts, indexes and freezes the trace.
+    pub fn build(self) -> SystemTrace {
+        let SystemTraceBuilder {
+            config,
+            mut failures,
+            mut jobs,
+            mut temperatures,
+            mut maintenance,
+            layout,
+        } = self;
+        failures.sort_by_key(|f| (f.time, f.node));
+        jobs.sort_by_key(|j| j.dispatch);
+        temperatures.sort_by_key(|t| t.time);
+        maintenance.sort_by_key(|m| (m.time, m.node));
+
+        let nodes = config.nodes as usize;
+        let mut node_failures: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        for (i, f) in failures.iter().enumerate() {
+            node_failures[f.node.index()].push(i as u32);
+        }
+        let mut node_maintenance: Vec<Vec<u32>> = vec![Vec::new(); nodes];
+        for (i, m) in maintenance.iter().enumerate() {
+            node_maintenance[m.node.index()].push(i as u32);
+        }
+        SystemTrace {
+            config,
+            failures,
+            node_failures,
+            jobs,
+            temperatures,
+            maintenance,
+            node_maintenance,
+            layout,
+        }
+    }
+}
+
+/// One system's complete, indexed trace.
+///
+/// Records are sorted by time; per-node indexes give every node's
+/// failures and maintenance events in time order.
+#[derive(Debug, Clone)]
+pub struct SystemTrace {
+    config: SystemConfig,
+    failures: Vec<FailureRecord>,
+    node_failures: Vec<Vec<u32>>,
+    jobs: Vec<JobRecord>,
+    temperatures: Vec<TemperatureSample>,
+    maintenance: Vec<MaintenanceRecord>,
+    node_maintenance: Vec<Vec<u32>>,
+    layout: Option<MachineLayout>,
+}
+
+impl SystemTrace {
+    /// The system's static description.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The system id (shorthand for `config().id`).
+    pub fn id(&self) -> SystemId {
+        self.config.id
+    }
+
+    /// All failures, sorted by time.
+    pub fn failures(&self) -> &[FailureRecord] {
+        &self.failures
+    }
+
+    /// Failures of one node, in time order.
+    pub fn node_failures(&self, node: NodeId) -> impl Iterator<Item = &FailureRecord> + '_ {
+        self.node_failures
+            .get(node.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.failures[i as usize])
+    }
+
+    /// Number of failures of one node.
+    pub fn node_failure_count(&self, node: NodeId) -> usize {
+        self.node_failures.get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// All jobs, sorted by dispatch time.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// All temperature samples, sorted by time.
+    pub fn temperatures(&self) -> &[TemperatureSample] {
+        &self.temperatures
+    }
+
+    /// All maintenance records, sorted by time.
+    pub fn maintenance(&self) -> &[MaintenanceRecord] {
+        &self.maintenance
+    }
+
+    /// Maintenance events of one node, in time order.
+    pub fn node_maintenance(&self, node: NodeId) -> impl Iterator<Item = &MaintenanceRecord> + '_ {
+        self.node_maintenance
+            .get(node.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.maintenance[i as usize])
+    }
+
+    /// The machine-room layout, if available.
+    pub fn layout(&self) -> Option<&MachineLayout> {
+        self.layout.as_ref()
+    }
+
+    /// Iterates over all node ids of this system.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.config.nodes).map(NodeId::new)
+    }
+
+    /// `true` if `(t, t + window]` lies inside the observation period
+    /// when anchored at `t` — i.e. the window is fully observed.
+    pub fn window_observed(&self, t: Timestamp, window: Window) -> bool {
+        t >= self.config.start
+            && t.checked_add(window.duration())
+                .is_some_and(|end| end <= self.config.end)
+    }
+
+    /// `true` if node has at least one failure of `class` in the
+    /// half-open interval `(after, until]`.
+    pub fn node_has_failure_in(
+        &self,
+        node: NodeId,
+        class: FailureClass,
+        after: Timestamp,
+        until: Timestamp,
+    ) -> bool {
+        let Some(idx) = self.node_failures.get(node.index()) else {
+            return false;
+        };
+        // First failure strictly after `after`.
+        let start = idx.partition_point(|&i| self.failures[i as usize].time <= after);
+        idx[start..]
+            .iter()
+            .map(|&i| &self.failures[i as usize])
+            .take_while(|f| f.time <= until)
+            .any(|f| class.matches(f))
+    }
+
+    /// Counts node failures of `class` in `(after, until]`.
+    pub fn node_failures_in(
+        &self,
+        node: NodeId,
+        class: FailureClass,
+        after: Timestamp,
+        until: Timestamp,
+    ) -> usize {
+        let Some(idx) = self.node_failures.get(node.index()) else {
+            return 0;
+        };
+        let start = idx.partition_point(|&i| self.failures[i as usize].time <= after);
+        idx[start..]
+            .iter()
+            .map(|&i| &self.failures[i as usize])
+            .take_while(|f| f.time <= until)
+            .filter(|f| class.matches(f))
+            .count()
+    }
+
+    /// A copy of this trace restricted to records in `[start, end)`,
+    /// with the observation period clipped accordingly. Jobs are kept
+    /// when they overlap the range; the layout is kept as-is.
+    ///
+    /// Useful for split-sample analyses (e.g. evaluating an alarm rule
+    /// out of sample) and for excluding burn-in periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn restricted(&self, start: Timestamp, end: Timestamp) -> SystemTrace {
+        assert!(start < end, "restricted range must be non-empty");
+        let start = start.max(self.config.start);
+        let end = end.min(self.config.end);
+        let mut config = self.config.clone();
+        config.start = start;
+        config.end = end.max(start);
+        let mut builder = SystemTraceBuilder::new(config);
+        for f in &self.failures {
+            if f.time >= start && f.time < end {
+                builder.push_failure(*f);
+            }
+        }
+        for j in &self.jobs {
+            if j.dispatch < end && j.end > start {
+                builder.push_job(j.clone());
+            }
+        }
+        for t in &self.temperatures {
+            if t.time >= start && t.time < end {
+                builder.push_temperature(*t);
+            }
+        }
+        for m in &self.maintenance {
+            if m.time >= start && m.time < end {
+                builder.push_maintenance(*m);
+            }
+        }
+        if let Some(layout) = &self.layout {
+            builder.layout(layout.clone());
+        }
+        builder.build()
+    }
+
+    /// `true` if node has at least one *unscheduled hardware* maintenance
+    /// event in `(after, until]`.
+    pub fn node_has_unscheduled_hw_maintenance_in(
+        &self,
+        node: NodeId,
+        after: Timestamp,
+        until: Timestamp,
+    ) -> bool {
+        let Some(idx) = self.node_maintenance.get(node.index()) else {
+            return false;
+        };
+        let start = idx.partition_point(|&i| self.maintenance[i as usize].time <= after);
+        idx[start..]
+            .iter()
+            .map(|&i| &self.maintenance[i as usize])
+            .take_while(|m| m.time <= until)
+            .any(|m| m.is_unscheduled_hardware())
+    }
+}
+
+/// The full data release: every system plus fleet-wide neutron samples.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    systems: BTreeMap<SystemId, SystemTrace>,
+    neutron: Vec<NeutronSample>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Adds (or replaces) a system trace.
+    pub fn insert_system(&mut self, system: SystemTrace) {
+        self.systems.insert(system.id(), system);
+    }
+
+    /// Sets the neutron-monitor samples (sorted by time internally).
+    pub fn set_neutron_samples(&mut self, mut samples: Vec<NeutronSample>) {
+        samples.sort_by_key(|s| s.time);
+        self.neutron = samples;
+    }
+
+    /// Looks up one system.
+    pub fn system(&self, id: SystemId) -> Option<&SystemTrace> {
+        self.systems.get(&id)
+    }
+
+    /// Iterates over all systems in id order.
+    pub fn systems(&self) -> impl Iterator<Item = &SystemTrace> {
+        self.systems.values()
+    }
+
+    /// Iterates over the systems of one hardware group.
+    pub fn group_systems(&self, group: SystemGroup) -> impl Iterator<Item = &SystemTrace> {
+        self.systems
+            .values()
+            .filter(move |s| s.config().group() == group)
+    }
+
+    /// The neutron-monitor samples, sorted by time.
+    pub fn neutron_samples(&self) -> &[NeutronSample] {
+        &self.neutron
+    }
+
+    /// Number of systems.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// `true` if the trace holds no systems.
+    pub fn is_empty(&self) -> bool {
+        self.systems.is_empty()
+    }
+
+    /// Total failures across all systems.
+    pub fn total_failures(&self) -> usize {
+        self.systems.values().map(|s| s.failures().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn test_config(id: u16, nodes: u32, days: f64) -> SystemConfig {
+        SystemConfig {
+            id: SystemId::new(id),
+            name: format!("test-{id}"),
+            nodes,
+            procs_per_node: 4,
+            hardware: HardwareClass::Smp4Way,
+            start: Timestamp::EPOCH,
+            end: Timestamp::from_days(days),
+            has_layout: false,
+            has_job_log: false,
+            has_temperature: false,
+        }
+    }
+
+    fn failure(node: u32, day: f64, root: RootCause) -> FailureRecord {
+        FailureRecord::new(
+            SystemId::new(1),
+            NodeId::new(node),
+            Timestamp::from_days(day),
+            root,
+            SubCause::None,
+        )
+    }
+
+    fn build_simple() -> SystemTrace {
+        let mut b = SystemTraceBuilder::new(test_config(1, 4, 100.0));
+        b.push_failure(failure(2, 50.0, RootCause::Network));
+        b.push_failure(failure(0, 10.0, RootCause::Hardware));
+        b.push_failure(failure(2, 12.0, RootCause::Software));
+        b.push_failure(failure(0, 10.5, RootCause::Hardware));
+        b.build()
+    }
+
+    #[test]
+    fn build_sorts_by_time() {
+        let t = build_simple();
+        let times: Vec<f64> = t.failures().iter().map(|f| f.time.as_days()).collect();
+        assert_eq!(times, vec![10.0, 10.5, 12.0, 50.0]);
+    }
+
+    #[test]
+    fn node_index_partition() {
+        let t = build_simple();
+        assert_eq!(t.node_failure_count(NodeId::new(0)), 2);
+        assert_eq!(t.node_failure_count(NodeId::new(2)), 2);
+        assert_eq!(t.node_failure_count(NodeId::new(1)), 0);
+        assert_eq!(t.node_failure_count(NodeId::new(99)), 0);
+        let node0: Vec<f64> = t
+            .node_failures(NodeId::new(0))
+            .map(|f| f.time.as_days())
+            .collect();
+        assert_eq!(node0, vec![10.0, 10.5]);
+    }
+
+    #[test]
+    fn window_membership_half_open() {
+        let t = build_simple();
+        let node = NodeId::new(0);
+        // (10.0, 10.5]: the 10.5 failure counts, the 10.0 trigger doesn't.
+        assert!(t.node_has_failure_in(
+            node,
+            FailureClass::Any,
+            Timestamp::from_days(10.0),
+            Timestamp::from_days(10.5),
+        ));
+        // (10.5, 20.0]: nothing.
+        assert!(!t.node_has_failure_in(
+            node,
+            FailureClass::Any,
+            Timestamp::from_days(10.5),
+            Timestamp::from_days(20.0),
+        ));
+    }
+
+    #[test]
+    fn window_class_filtering() {
+        let t = build_simple();
+        let node = NodeId::new(2);
+        let after = Timestamp::from_days(0.0);
+        let until = Timestamp::from_days(100.0);
+        assert!(t.node_has_failure_in(node, FailureClass::Root(RootCause::Network), after, until));
+        assert!(!t.node_has_failure_in(
+            node,
+            FailureClass::Root(RootCause::Hardware),
+            after,
+            until
+        ));
+        assert_eq!(t.node_failures_in(node, FailureClass::Any, after, until), 2);
+    }
+
+    #[test]
+    fn window_observed_bounds() {
+        let t = build_simple();
+        assert!(t.window_observed(Timestamp::from_days(92.9), Window::Week));
+        assert!(!t.window_observed(Timestamp::from_days(93.1), Window::Week));
+        assert!(!t.window_observed(Timestamp::from_days(-0.1), Window::Day));
+    }
+
+    #[test]
+    fn maintenance_index() {
+        let mut b = SystemTraceBuilder::new(test_config(1, 2, 50.0));
+        b.push_maintenance(MaintenanceRecord {
+            system: SystemId::new(1),
+            node: NodeId::new(1),
+            time: Timestamp::from_days(5.0),
+            hardware_related: true,
+            scheduled: false,
+        });
+        b.push_maintenance(MaintenanceRecord {
+            system: SystemId::new(1),
+            node: NodeId::new(1),
+            time: Timestamp::from_days(9.0),
+            hardware_related: true,
+            scheduled: true,
+        });
+        let t = b.build();
+        assert!(t.node_has_unscheduled_hw_maintenance_in(
+            NodeId::new(1),
+            Timestamp::from_days(4.0),
+            Timestamp::from_days(6.0),
+        ));
+        // The scheduled one must not count.
+        assert!(!t.node_has_unscheduled_hw_maintenance_in(
+            NodeId::new(1),
+            Timestamp::from_days(8.0),
+            Timestamp::from_days(10.0),
+        ));
+        assert_eq!(t.node_maintenance(NodeId::new(1)).count(), 2);
+    }
+
+    #[test]
+    fn restricted_clips_records_and_span() {
+        let t = build_simple();
+        let slice = t.restricted(Timestamp::from_days(11.0), Timestamp::from_days(45.0));
+        // Only the day-12 failure lies in [11, 45).
+        assert_eq!(slice.failures().len(), 1);
+        assert_eq!(slice.failures()[0].time, Timestamp::from_days(12.0));
+        assert_eq!(slice.config().start, Timestamp::from_days(11.0));
+        assert_eq!(slice.config().end, Timestamp::from_days(45.0));
+        assert_eq!(slice.config().observation_days(), 34);
+        // Original untouched.
+        assert_eq!(t.failures().len(), 4);
+    }
+
+    #[test]
+    fn restricted_clamps_to_observation() {
+        let t = build_simple();
+        let slice = t.restricted(Timestamp::from_days(-5.0), Timestamp::from_days(1000.0));
+        assert_eq!(slice.config().start, Timestamp::EPOCH);
+        assert_eq!(slice.config().end, Timestamp::from_days(100.0));
+        assert_eq!(slice.failures().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn restricted_rejects_empty_range() {
+        let t = build_simple();
+        let _ = t.restricted(Timestamp::from_days(10.0), Timestamp::from_days(10.0));
+    }
+
+    #[test]
+    fn trace_grouping() {
+        let mut trace = Trace::new();
+        trace.insert_system(SystemTraceBuilder::new(test_config(1, 2, 10.0)).build());
+        let mut numa = test_config(2, 2, 10.0);
+        numa.hardware = HardwareClass::Numa;
+        trace.insert_system(SystemTraceBuilder::new(numa).build());
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.group_systems(SystemGroup::Group1).count(), 1);
+        assert_eq!(trace.group_systems(SystemGroup::Group2).count(), 1);
+        assert!(trace.system(SystemId::new(2)).is_some());
+        assert!(trace.system(SystemId::new(3)).is_none());
+    }
+
+    #[test]
+    fn neutron_samples_sorted() {
+        let mut trace = Trace::new();
+        trace.set_neutron_samples(vec![
+            NeutronSample {
+                time: Timestamp::from_days(2.0),
+                counts_per_minute: 4000.0,
+            },
+            NeutronSample {
+                time: Timestamp::from_days(1.0),
+                counts_per_minute: 4100.0,
+            },
+        ]);
+        let times: Vec<f64> = trace
+            .neutron_samples()
+            .iter()
+            .map(|s| s.time.as_days())
+            .collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+}

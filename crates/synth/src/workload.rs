@@ -1,0 +1,304 @@
+//! Job/user workload generation for systems with job logs.
+//!
+//! Produces a LANL-style job log (Section V: systems 8 and 20) with:
+//! heavy-tailed per-user activity (the 50 heaviest users dominate
+//! processor-days), per-user *risk multipliers* (some users exercise
+//! nodes in ways that make failures more likely — Section VI), and a
+//! login/launch role for node 0 (it joins far more jobs than any other
+//! node, giving it the highest utilization — Section V's scatter plots).
+
+use crate::spec::WorkloadSpec;
+use hpcfail_stats::dist::{Distribution, Exponential, LogNormal, Poisson};
+use hpcfail_types::prelude::*;
+use rand::Rng;
+
+/// A generated workload: the job log plus per-user risk multipliers.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The job records, sorted by dispatch time.
+    pub jobs: Vec<JobRecord>,
+    /// Per-user hazard multipliers (unit mean-ish, log-normal).
+    pub user_risk: Vec<f64>,
+}
+
+/// Per-node-per-day usage intensities derived from a job log, feeding
+/// the failure hazard.
+#[derive(Debug, Clone)]
+pub struct NodeDayUsage {
+    days: usize,
+    /// Busy fraction of each (node, day), row-major `[node][day]`.
+    busy: Vec<f64>,
+    /// Sum over active jobs of `(user_risk - 1) * overlap_fraction`.
+    risk_excess: Vec<f64>,
+}
+
+impl NodeDayUsage {
+    /// Fraction of `day` that `node` had at least one job assigned
+    /// (clamped to 1; overlapping jobs saturate rather than stack).
+    pub fn busy_fraction(&self, node: u32, day: u32) -> f64 {
+        self.busy
+            .get(node as usize * self.days + day as usize)
+            .copied()
+            .unwrap_or(0.0)
+            .min(1.0)
+    }
+
+    /// Risk excess of `(node, day)` from the users running there.
+    pub fn risk_excess(&self, node: u32, day: u32) -> f64 {
+        self.risk_excess
+            .get(node as usize * self.days + day as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// An all-zero usage map (systems without job logs).
+    pub fn empty() -> Self {
+        NodeDayUsage {
+            days: 0,
+            busy: Vec::new(),
+            risk_excess: Vec::new(),
+        }
+    }
+}
+
+/// Generates the job log for one system.
+pub fn generate_workload<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &WorkloadSpec,
+    system: SystemId,
+    nodes: u32,
+    procs_per_node: u32,
+    days: u32,
+) -> GeneratedWorkload {
+    assert!(nodes > 0, "workload needs at least one node");
+    // Per-user activity weights: Pareto tail (heaviest users dominate).
+    let weights: Vec<f64> = (0..spec.users)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            u.powf(-1.0 / spec.user_activity_shape)
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total_weight;
+        cumulative.push(acc);
+    }
+
+    // Per-user risk multipliers: log-normal around 1 with the configured
+    // spread; mean-corrected so the fleet-wide hazard is unchanged.
+    let sigma = spec.user_risk_sigma;
+    let risk_dist = LogNormal::new(-sigma * sigma / 2.0, sigma.max(1e-6));
+    let user_risk: Vec<f64> = (0..spec.users).map(|_| risk_dist.sample(rng)).collect();
+
+    let runtime_hours = LogNormal::new(spec.mean_runtime_hours.max(0.1).ln(), 1.0);
+    let queue_wait = Exponential::new(1.0); // mean 1 hour
+    let arrivals = Poisson::new(spec.jobs_per_day.max(1e-9));
+
+    let mut jobs = Vec::new();
+    let mut job_id = 0u64;
+    for day in 0..days {
+        let count = arrivals.sample_count(rng);
+        for _ in 0..count {
+            let pick: f64 = rng.gen_range(0.0..1.0);
+            let user = cumulative.partition_point(|&c| c < pick) as u32;
+            let user = user.min(spec.users.saturating_sub(1));
+
+            let submit_s = day as i64 * 86_400 + rng.gen_range(0..86_400i64);
+            let wait_s = (queue_wait.sample(rng) * 3600.0) as i64;
+            let run_s = (runtime_hours.sample(rng).clamp(0.05, 24.0 * 14.0) * 3600.0) as i64;
+            let dispatch_s = submit_s + wait_s;
+            let end_s = dispatch_s + run_s.max(60);
+
+            // Node count: powers of two, heavy on small jobs.
+            let max_pow = (nodes.max(1) as f64).log2().floor() as u32;
+            let pow = geometric_pow(rng, max_pow.min(5));
+            let width = (1u32 << pow).min(nodes);
+            let include_node0 = rng.gen_range(0.0..1.0) < spec.node0_inclusion;
+            let start = if include_node0 || nodes == width {
+                0
+            } else {
+                rng.gen_range(0..=(nodes - width))
+            };
+            let node_ids: Vec<NodeId> = (start..start + width).map(NodeId::new).collect();
+
+            jobs.push(JobRecord {
+                system,
+                job_id: JobId::new(job_id),
+                user: UserId::new(user),
+                submit: Timestamp::from_seconds(submit_s),
+                dispatch: Timestamp::from_seconds(dispatch_s),
+                end: Timestamp::from_seconds(end_s),
+                procs: width * procs_per_node,
+                nodes: node_ids,
+            });
+            job_id += 1;
+        }
+    }
+    jobs.sort_by_key(|j| j.dispatch);
+    GeneratedWorkload { jobs, user_risk }
+}
+
+/// Geometric-ish power draw in `0..=max_pow` (halving probability per
+/// step), biasing towards small jobs.
+fn geometric_pow<R: Rng + ?Sized>(rng: &mut R, max_pow: u32) -> u32 {
+    let mut pow = 0;
+    while pow < max_pow && rng.gen_range(0.0..1.0) < 0.45 {
+        pow += 1;
+    }
+    pow
+}
+
+/// Accumulates per-node-per-day usage intensities from a job log.
+pub fn accumulate_usage(workload: &GeneratedWorkload, nodes: u32, days: u32) -> NodeDayUsage {
+    let days_us = days as usize;
+    let mut busy = vec![0.0f64; nodes as usize * days_us];
+    let mut risk_excess = vec![0.0f64; nodes as usize * days_us];
+    for job in &workload.jobs {
+        let risk = workload
+            .user_risk
+            .get(job.user.index())
+            .copied()
+            .unwrap_or(1.0);
+        let d0 = job.dispatch.as_seconds().max(0);
+        let d1 = job.end.as_seconds().min(days as i64 * 86_400);
+        if d1 <= d0 {
+            continue;
+        }
+        let first_day = (d0 / 86_400) as u32;
+        let last_day = ((d1 - 1) / 86_400) as u32;
+        for day in first_day..=last_day.min(days - 1) {
+            let day_lo = day as i64 * 86_400;
+            let day_hi = day_lo + 86_400;
+            let overlap = (d1.min(day_hi) - d0.max(day_lo)) as f64 / 86_400.0;
+            for &node in &job.nodes {
+                if node.raw() < nodes {
+                    let idx = node.index() * days_us + day as usize;
+                    busy[idx] += overlap;
+                    risk_excess[idx] += (risk - 1.0) * overlap;
+                }
+            }
+        }
+    }
+    NodeDayUsage {
+        days: days_us,
+        busy,
+        risk_excess,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            users: 50,
+            jobs_per_day: 20.0,
+            mean_runtime_hours: 6.0,
+            user_activity_shape: 1.2,
+            user_risk_sigma: 0.8,
+            node0_inclusion: 0.3,
+        }
+    }
+
+    fn generate(seed: u64) -> GeneratedWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_workload(&mut rng, &spec(), SystemId::new(8), 64, 4, 365)
+    }
+
+    #[test]
+    fn jobs_are_well_formed() {
+        let w = generate(1);
+        assert!(w.jobs.len() > 5000, "got {}", w.jobs.len());
+        for j in &w.jobs {
+            assert!(j.is_well_formed(), "malformed {j:?}");
+            assert!(j.nodes.iter().all(|n| n.raw() < 64));
+            assert_eq!(j.procs as usize, j.nodes.len() * 4);
+        }
+        // Sorted by dispatch.
+        assert!(w.jobs.windows(2).all(|p| p[0].dispatch <= p[1].dispatch));
+    }
+
+    #[test]
+    fn node0_is_busiest() {
+        let w = generate(2);
+        let mut per_node = vec![0u32; 64];
+        for j in &w.jobs {
+            for n in &j.nodes {
+                per_node[n.index()] += 1;
+            }
+        }
+        let max_other = per_node[1..].iter().max().copied().unwrap();
+        assert!(
+            per_node[0] > 2 * max_other,
+            "node0 {} vs max other {max_other}",
+            per_node[0]
+        );
+    }
+
+    #[test]
+    fn user_activity_is_skewed() {
+        let w = generate(3);
+        let mut per_user = vec![0u32; 50];
+        for j in &w.jobs {
+            per_user[j.user.index()] += 1;
+        }
+        per_user.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u32 = per_user.iter().sum();
+        let top5: u32 = per_user[..5].iter().sum();
+        assert!(
+            top5 as f64 > 0.3 * total as f64,
+            "top-5 share {}",
+            top5 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn user_risk_varies_with_unit_scale() {
+        let w = generate(4);
+        let mean: f64 = w.user_risk.iter().sum::<f64>() / w.user_risk.len() as f64;
+        assert!(mean > 0.5 && mean < 2.0, "mean risk {mean}");
+        let max = w.user_risk.iter().cloned().fold(0.0, f64::max);
+        let min = w.user_risk.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 3.0, "risk spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn usage_accumulation_bounds() {
+        let w = generate(5);
+        let usage = accumulate_usage(&w, 64, 365);
+        let mut any_busy = false;
+        for node in 0..64 {
+            for day in 0..365 {
+                let b = usage.busy_fraction(node, day);
+                assert!((0.0..=1.0).contains(&b));
+                if b > 0.0 {
+                    any_busy = true;
+                }
+            }
+        }
+        assert!(any_busy);
+        // Node 0 busier than a typical node on average.
+        let avg = |n: u32| (0..365).map(|d| usage.busy_fraction(n, d)).sum::<f64>() / 365.0;
+        assert!(avg(0) > avg(37));
+    }
+
+    #[test]
+    fn usage_out_of_range_is_zero() {
+        let usage = NodeDayUsage::empty();
+        assert_eq!(usage.busy_fraction(0, 0), 0.0);
+        assert_eq!(usage.risk_excess(3, 17), 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(9);
+        let b = generate(9);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.user_risk, b.user_risk);
+    }
+}

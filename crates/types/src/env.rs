@@ -1,0 +1,115 @@
+//! Environmental and operational records: temperature samples,
+//! neutron-monitor counts and maintenance events.
+
+use crate::ids::{NodeId, SystemId};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One periodic motherboard-sensor temperature reading.
+///
+/// LANL system 20 records periodic ambient temperature from a motherboard
+/// sensor; Sections VIII and X regress outages on aggregates of these
+/// samples. The paper treats 40 °C as the severe-temperature warning
+/// threshold ([`TemperatureSample::HIGH_TEMP_THRESHOLD`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureSample {
+    /// The system the sensor belongs to.
+    pub system: SystemId,
+    /// The node the sensor belongs to.
+    pub node: NodeId,
+    /// Sampling time.
+    pub time: Timestamp,
+    /// Ambient temperature in degrees Celsius.
+    pub celsius: f64,
+}
+
+impl TemperatureSample {
+    /// Ambient temperature above which a node reports a severe temperature
+    /// warning (Table I's `num_hightemp` counts these).
+    pub const HIGH_TEMP_THRESHOLD: f64 = 40.0;
+
+    /// `true` if this sample exceeds the severe-temperature threshold.
+    pub fn is_high(&self) -> bool {
+        self.celsius > Self::HIGH_TEMP_THRESHOLD
+    }
+}
+
+/// One neutron-monitor reading: cosmic-ray-induced neutron counts per
+/// minute, as published by ground-level neutron-monitor stations.
+///
+/// The paper uses 1-minute counts from the Climax, Colorado station,
+/// aggregated to monthly averages in the 3400-4600 counts/min range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeutronSample {
+    /// Sampling time.
+    pub time: Timestamp,
+    /// Neutron counts per minute.
+    pub counts_per_minute: f64,
+}
+
+/// One maintenance event on a node.
+///
+/// Section VII-A.2 observes that power problems sharply increase
+/// *unscheduled* hardware-related maintenance; this record captures the
+/// fields that analysis needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MaintenanceRecord {
+    /// The system the node belongs to.
+    pub system: SystemId,
+    /// The node undergoing maintenance.
+    pub node: NodeId,
+    /// When the maintenance started.
+    pub time: Timestamp,
+    /// `true` if the work addressed a hardware problem.
+    pub hardware_related: bool,
+    /// `true` if the downtime was scheduled in advance.
+    pub scheduled: bool,
+}
+
+impl MaintenanceRecord {
+    /// `true` for the events Section VII-A.2 counts: unscheduled downtime
+    /// due to hardware problems.
+    pub const fn is_unscheduled_hardware(&self) -> bool {
+        self.hardware_related && !self.scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_temperature_threshold() {
+        let mut s = TemperatureSample {
+            system: SystemId::new(20),
+            node: NodeId::new(1),
+            time: Timestamp::EPOCH,
+            celsius: 40.0,
+        };
+        assert!(!s.is_high());
+        s.celsius = 40.1;
+        assert!(s.is_high());
+    }
+
+    #[test]
+    fn unscheduled_hardware_maintenance() {
+        let base = MaintenanceRecord {
+            system: SystemId::new(2),
+            node: NodeId::new(4),
+            time: Timestamp::EPOCH,
+            hardware_related: true,
+            scheduled: false,
+        };
+        assert!(base.is_unscheduled_hardware());
+        assert!(!MaintenanceRecord {
+            scheduled: true,
+            ..base
+        }
+        .is_unscheduled_hardware());
+        assert!(!MaintenanceRecord {
+            hardware_related: false,
+            ..base
+        }
+        .is_unscheduled_hardware());
+    }
+}

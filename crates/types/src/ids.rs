@@ -1,0 +1,123 @@
+//! Typed identifiers for systems, nodes, racks, users and jobs.
+//!
+//! Newtypes keep the different index spaces from being confused
+//! (C-NEWTYPE): a [`NodeId`] is an index *within one system*, a
+//! [`SystemId`] is the LANL-style system number, and so on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Creates an identifier from its raw integer value.
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// The raw integer value.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// The raw value as a `usize`, for indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $inner {
+            fn from(id: $name) -> $inner {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A LANL-style system (cluster) number, e.g. system 20.
+    SystemId,
+    u16,
+    "sys"
+);
+
+id_type!(
+    /// A node index within one system. Node 0 is conventionally the
+    /// login/launch node in LANL systems.
+    NodeId,
+    u32,
+    "node"
+);
+
+id_type!(
+    /// A rack index within one system's machine-room layout.
+    RackId,
+    u16,
+    "rack"
+);
+
+id_type!(
+    /// A user account index within one system's job log.
+    UserId,
+    u32,
+    "user"
+);
+
+id_type!(
+    /// A job number within one system's job log.
+    JobId,
+    u64,
+    "job"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_raw() {
+        assert_eq!(SystemId::new(20).raw(), 20);
+        assert_eq!(NodeId::new(157).index(), 157);
+        assert_eq!(u64::from(JobId::new(9)), 9);
+        assert_eq!(RackId::from(3u16), RackId::new(3));
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(SystemId::new(2).to_string(), "sys2");
+        assert_eq!(NodeId::new(0).to_string(), "node0");
+        assert_eq!(UserId::new(7).to_string(), "user7");
+        assert_eq!(RackId::new(1).to_string(), "rack1");
+        assert_eq!(JobId::new(42).to_string(), "job42");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

@@ -1,0 +1,56 @@
+//! Data model for HPC reliability traces.
+//!
+//! This crate defines the vocabulary shared by every other `hpcfail` crate:
+//! timestamps and analysis windows ([`time`]), identifiers ([`ids`]), the
+//! failure taxonomy and failure records ([`failure`]), job records ([`job`]),
+//! environmental records ([`env`](mod@env)), machine-room layout ([`layout`]) and
+//! system descriptions ([`system`]).
+//!
+//! The taxonomy mirrors the Los Alamos National Laboratory (LANL) failure
+//! data release studied by El-Sayed and Schroeder in *"Reading between the
+//! lines of failure logs"* (DSN 2013): six high-level root-cause categories
+//! (environment, hardware, human error, network, software, undetermined),
+//! with lower-level sub-causes for hardware components, software subsystems
+//! and environmental power/cooling problems.
+//!
+//! # Examples
+//!
+//! ```
+//! use hpcfail_types::prelude::*;
+//!
+//! let record = FailureRecord::new(
+//!     SystemId::new(20),
+//!     NodeId::new(0),
+//!     Timestamp::from_days(12.5),
+//!     RootCause::Hardware,
+//!     SubCause::Hardware(HardwareComponent::MemoryDimm),
+//! );
+//! assert!(FailureClass::Root(RootCause::Hardware).matches(&record));
+//! assert!(FailureClass::Hw(HardwareComponent::MemoryDimm).matches(&record));
+//! assert!(!FailureClass::Root(RootCause::Network).matches(&record));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod failure;
+pub mod ids;
+pub mod job;
+pub mod layout;
+pub mod system;
+pub mod time;
+
+/// Convenient glob import of the most frequently used types.
+pub mod prelude {
+    pub use crate::env::{MaintenanceRecord, NeutronSample, TemperatureSample};
+    pub use crate::failure::{
+        EnvironmentCause, FailureClass, FailureRecord, HardwareComponent, RootCause, SoftwareCause,
+        SubCause,
+    };
+    pub use crate::ids::{JobId, NodeId, RackId, SystemId, UserId};
+    pub use crate::job::JobRecord;
+    pub use crate::layout::{MachineLayout, NodeLocation};
+    pub use crate::system::{HardwareClass, SystemConfig, SystemGroup};
+    pub use crate::time::{Duration, Timestamp, Window};
+}

@@ -1,0 +1,360 @@
+//! Trace time: timestamps, durations and analysis windows.
+//!
+//! All trace records carry a [`Timestamp`] measured in seconds since the
+//! start of the observation period. The paper's analyses condition on
+//! fixed-length [`Window`]s (day, week, month) following a trigger event.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::str::FromStr;
+
+/// Number of seconds in a day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+/// Number of seconds in a (7-day) week.
+pub const SECONDS_PER_WEEK: i64 = 7 * SECONDS_PER_DAY;
+/// Number of seconds in a (30-day) month, the convention used throughout.
+pub const SECONDS_PER_MONTH: i64 = 30 * SECONDS_PER_DAY;
+
+/// A point in trace time, in whole seconds since the trace epoch.
+///
+/// The trace epoch is the start of the observation period of the data set,
+/// not a calendar date; analyses only ever use differences and window
+/// arithmetic, so an abstract epoch is sufficient and keeps synthetic and
+/// ingested traces on the same footing.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_types::time::{Duration, Timestamp};
+///
+/// let t = Timestamp::from_days(2.0) + Duration::from_hours(12.0);
+/// assert_eq!(t.as_days(), 2.5);
+/// assert_eq!(t.day_index(), 2);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The trace epoch (time zero).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from whole seconds since the trace epoch.
+    pub const fn from_seconds(seconds: i64) -> Self {
+        Timestamp(seconds)
+    }
+
+    /// Creates a timestamp from (possibly fractional) days since the epoch.
+    ///
+    /// Fractions finer than one second are truncated.
+    pub fn from_days(days: f64) -> Self {
+        Timestamp((days * SECONDS_PER_DAY as f64) as i64)
+    }
+
+    /// Seconds since the trace epoch.
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Days since the trace epoch, as a float.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+
+    /// The zero-based index of the day this timestamp falls in.
+    ///
+    /// Negative timestamps round towards negative infinity so that every
+    /// timestamp falls in exactly one day bucket.
+    pub const fn day_index(self) -> i64 {
+        self.0.div_euclid(SECONDS_PER_DAY)
+    }
+
+    /// The zero-based index of the 30-day month this timestamp falls in.
+    pub const fn month_index(self) -> i64 {
+        self.0.div_euclid(SECONDS_PER_MONTH)
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: Duration) -> Option<Self> {
+        self.0.checked_add(d.0).map(Timestamp)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// A span of trace time in whole seconds. May be negative.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_types::time::Duration;
+///
+/// assert_eq!(Duration::from_days(1.0), Duration::from_hours(24.0));
+/// assert_eq!(Duration::from_days(2.0).as_days(), 2.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(i64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_seconds(seconds: i64) -> Self {
+        Duration(seconds)
+    }
+
+    /// Creates a duration from (possibly fractional) hours, truncated to seconds.
+    pub fn from_hours(hours: f64) -> Self {
+        Duration((hours * 3600.0) as i64)
+    }
+
+    /// Creates a duration from (possibly fractional) days, truncated to seconds.
+    pub fn from_days(days: f64) -> Self {
+        Duration((days * SECONDS_PER_DAY as f64) as i64)
+    }
+
+    /// The duration in whole seconds.
+    pub const fn as_seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The duration in days, as a float.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+
+    /// `true` if the duration is strictly positive.
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// A fixed-length analysis window following a trigger event.
+///
+/// The paper conditions failure probabilities on the day, week and
+/// (30-day) month following an event, and compares against the probability
+/// in a random window of the same length.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_types::time::Window;
+///
+/// assert_eq!(Window::Week.days(), 7);
+/// assert_eq!("month".parse::<Window>()?, Window::Month);
+/// # Ok::<(), hpcfail_types::time::ParseWindowError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Window {
+    /// One day (24 hours).
+    Day,
+    /// One week (7 days).
+    Week,
+    /// One month (30 days).
+    Month,
+}
+
+impl Window {
+    /// All windows, in increasing length.
+    pub const ALL: [Window; 3] = [Window::Day, Window::Week, Window::Month];
+
+    /// The window length as a [`Duration`].
+    pub const fn duration(self) -> Duration {
+        Duration(self.seconds())
+    }
+
+    /// The window length in seconds.
+    pub const fn seconds(self) -> i64 {
+        match self {
+            Window::Day => SECONDS_PER_DAY,
+            Window::Week => SECONDS_PER_WEEK,
+            Window::Month => SECONDS_PER_MONTH,
+        }
+    }
+
+    /// The window length in whole days.
+    pub const fn days(self) -> i64 {
+        self.seconds() / SECONDS_PER_DAY
+    }
+
+    /// A short lowercase label ("day", "week", "month").
+    pub const fn label(self) -> &'static str {
+        match self {
+            Window::Day => "day",
+            Window::Week => "week",
+            Window::Month => "month",
+        }
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`Window`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWindowError(String);
+
+impl fmt::Display for ParseWindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown window {:?}, expected day, week or month",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseWindowError {}
+
+impl FromStr for Window {
+    type Err = ParseWindowError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "day" | "d" => Ok(Window::Day),
+            "week" | "w" => Ok(Window::Week),
+            "month" | "m" => Ok(Window::Month),
+            _ => Err(ParseWindowError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_day_arithmetic() {
+        let t = Timestamp::from_days(3.25);
+        assert_eq!(t.day_index(), 3);
+        assert_eq!(t.as_seconds(), 3 * SECONDS_PER_DAY + SECONDS_PER_DAY / 4);
+        assert!((t.as_days() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestamp_negative_day_index_floors() {
+        let t = Timestamp::from_seconds(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(Timestamp::from_seconds(-SECONDS_PER_DAY).day_index(), -1);
+        assert_eq!(
+            Timestamp::from_seconds(-SECONDS_PER_DAY - 1).day_index(),
+            -2
+        );
+    }
+
+    #[test]
+    fn timestamp_duration_roundtrip() {
+        let a = Timestamp::from_days(10.0);
+        let b = Timestamp::from_days(17.0);
+        assert_eq!(b - a, Duration::from_days(7.0));
+        assert_eq!(a + (b - a), b);
+        assert_eq!(b - (b - a), a);
+    }
+
+    #[test]
+    fn timestamp_checked_add_overflow() {
+        let t = Timestamp::from_seconds(i64::MAX);
+        assert!(t.checked_add(Duration::from_seconds(1)).is_none());
+        assert_eq!(
+            t.checked_add(Duration::from_seconds(0)),
+            Some(Timestamp::from_seconds(i64::MAX))
+        );
+    }
+
+    #[test]
+    fn month_index_buckets() {
+        assert_eq!(Timestamp::from_days(29.9).month_index(), 0);
+        assert_eq!(Timestamp::from_days(30.0).month_index(), 1);
+        assert_eq!(Timestamp::from_days(65.0).month_index(), 2);
+    }
+
+    #[test]
+    fn window_lengths() {
+        assert_eq!(Window::Day.days(), 1);
+        assert_eq!(Window::Week.days(), 7);
+        assert_eq!(Window::Month.days(), 30);
+        assert_eq!(Window::Week.duration(), Duration::from_days(7.0));
+    }
+
+    #[test]
+    fn window_parse_and_display() {
+        for w in Window::ALL {
+            assert_eq!(w.to_string().parse::<Window>().unwrap(), w);
+        }
+        assert!("fortnight".parse::<Window>().is_err());
+        let err = "x".parse::<Window>().unwrap_err();
+        assert!(err.to_string().contains("unknown window"));
+    }
+
+    #[test]
+    fn duration_ordering_and_sign() {
+        assert!(Duration::from_days(1.0) < Duration::from_days(2.0));
+        assert!(Duration::from_seconds(1).is_positive());
+        assert!(!Duration::ZERO.is_positive());
+        assert!(!(Timestamp::EPOCH - Timestamp::from_seconds(5)).is_positive());
+    }
+}

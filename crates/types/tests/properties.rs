@@ -1,0 +1,137 @@
+//! Property-based tests for the data model: label round-trips, time
+//! arithmetic, layout invariants.
+
+use hpcfail_types::prelude::*;
+use hpcfail_types::time::SECONDS_PER_DAY;
+use proptest::prelude::*;
+
+fn arb_root() -> impl Strategy<Value = RootCause> {
+    prop::sample::select(RootCause::ALL.to_vec())
+}
+
+fn arb_hw() -> impl Strategy<Value = HardwareComponent> {
+    prop::sample::select(HardwareComponent::ALL.to_vec())
+}
+
+fn arb_sw() -> impl Strategy<Value = SoftwareCause> {
+    prop::sample::select(SoftwareCause::ALL.to_vec())
+}
+
+fn arb_env() -> impl Strategy<Value = EnvironmentCause> {
+    prop::sample::select(EnvironmentCause::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn root_cause_label_roundtrip(root in arb_root()) {
+        prop_assert_eq!(root.label().parse::<RootCause>().unwrap(), root);
+    }
+
+    #[test]
+    fn hw_label_roundtrip(c in arb_hw()) {
+        prop_assert_eq!(c.label().parse::<HardwareComponent>().unwrap(), c);
+    }
+
+    #[test]
+    fn sw_label_roundtrip(c in arb_sw()) {
+        prop_assert_eq!(c.label().parse::<SoftwareCause>().unwrap(), c);
+    }
+
+    #[test]
+    fn env_label_roundtrip(c in arb_env()) {
+        prop_assert_eq!(c.label().parse::<EnvironmentCause>().unwrap(), c);
+    }
+
+    #[test]
+    fn timestamp_day_index_consistent(sec in -1_000_000_000i64..1_000_000_000) {
+        let t = Timestamp::from_seconds(sec);
+        let day = t.day_index();
+        prop_assert!(day * SECONDS_PER_DAY <= sec);
+        prop_assert!((day + 1) * SECONDS_PER_DAY > sec);
+        // Month index groups 30 consecutive days.
+        prop_assert_eq!(t.month_index(), day.div_euclid(30));
+    }
+
+    #[test]
+    fn duration_arithmetic_consistent(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let ta = Timestamp::from_seconds(a);
+        let tb = Timestamp::from_seconds(b);
+        prop_assert_eq!(ta + (tb - ta), tb);
+        prop_assert_eq!((tb - ta).as_seconds(), b - a);
+    }
+
+    #[test]
+    fn class_any_matches_everything(node in 0u32..1000, sec in 0i64..1_000_000, root in arb_root()) {
+        let r = FailureRecord::new(
+            SystemId::new(1),
+            NodeId::new(node),
+            Timestamp::from_seconds(sec),
+            root,
+            SubCause::None,
+        );
+        prop_assert!(FailureClass::Any.matches(&r));
+        prop_assert!(FailureClass::Root(root).matches(&r));
+        // Exactly one root class matches.
+        let matching = RootCause::ALL
+            .iter()
+            .filter(|&&x| FailureClass::Root(x).matches(&r))
+            .count();
+        prop_assert_eq!(matching, 1);
+    }
+
+    #[test]
+    fn subcause_consistency_is_exclusive(hw in arb_hw(), root in arb_root()) {
+        let sub = SubCause::Hardware(hw);
+        prop_assert_eq!(sub.consistent_with(root), root == RootCause::Hardware);
+    }
+
+    #[test]
+    fn layout_place_then_lookup(entries in prop::collection::vec((0u32..100, 0u16..20, 1u8..6), 0..60)) {
+        let mut layout = MachineLayout::new();
+        for &(node, rack, pos) in &entries {
+            layout.place(
+                NodeId::new(node),
+                NodeLocation {
+                    rack: RackId::new(rack),
+                    position_in_rack: pos,
+                    room_row: 0,
+                    room_col: rack,
+                },
+            );
+        }
+        // Every placed node resolves to its last placement.
+        for &(node, _, _) in &entries {
+            let last = entries.iter().rev().find(|e| e.0 == node).unwrap();
+            prop_assert_eq!(layout.rack_of(NodeId::new(node)), Some(RackId::new(last.1)));
+        }
+        // Rack membership partitions the placed nodes.
+        let total: usize = layout.racks().map(|r| layout.rack_members(r).len()).sum();
+        prop_assert_eq!(total, layout.len());
+        // Neighbors never contain the node itself.
+        for &(node, _, _) in &entries {
+            prop_assert!(!layout.rack_neighbors(NodeId::new(node)).contains(&NodeId::new(node)));
+        }
+    }
+
+    #[test]
+    fn job_processor_days_non_negative(
+        submit in 0i64..1_000_000,
+        wait in 0i64..10_000,
+        run in 0i64..1_000_000,
+        procs in 1u32..512,
+    ) {
+        let j = JobRecord {
+            system: SystemId::new(8),
+            job_id: JobId::new(1),
+            user: UserId::new(1),
+            submit: Timestamp::from_seconds(submit),
+            dispatch: Timestamp::from_seconds(submit + wait),
+            end: Timestamp::from_seconds(submit + wait + run),
+            procs,
+            nodes: vec![NodeId::new(0)],
+        };
+        prop_assert!(j.processor_days() >= 0.0);
+        prop_assert!(j.is_well_formed());
+        prop_assert_eq!(j.runtime().as_seconds(), run);
+    }
+}

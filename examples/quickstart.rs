@@ -1,0 +1,64 @@
+//! Quickstart: generate a small synthetic fleet and ask the paper's
+//! first question — how much more likely is a node to fail right after
+//! it failed?
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use hpcfail::prelude::*;
+use hpcfail::report::figures::render_conditional_table;
+
+fn main() {
+    // A small two-year fleet: two SMP systems and one NUMA system.
+    // Generation is deterministic for a given seed.
+    println!("generating demo fleet...");
+    let store = FleetSpec::demo().generate(42).into_store();
+    println!(
+        "{} systems, {} failures total\n",
+        store.len(),
+        store.total_failures()
+    );
+
+    let analysis = CorrelationAnalysis::new(&store);
+
+    // Section III-A.1: the conditional-vs-random comparison.
+    for group in SystemGroup::ALL {
+        println!("{}", group.label());
+        for window in [Window::Day, Window::Week] {
+            let e = analysis.group_conditional(
+                group,
+                FailureClass::Any,
+                FailureClass::Any,
+                window,
+                Scope::SameNode,
+            );
+            println!(
+                "  P(failure in the {window} after a failure) = {:.2}% \
+                 vs {:.2}% in a random {window}  ({})",
+                e.conditional.estimate() * 100.0,
+                e.baseline.estimate() * 100.0,
+                e.factor().map_or("NA".to_owned(), |f| format!("{f:.1}x")),
+            );
+        }
+    }
+
+    // Figure 1(a): which failure types are the strongest triggers?
+    println!("\nP(any follow-up within a week | failure of type X), group 1:");
+    let bars: Vec<(&str, ConditionalEstimate)> = FailureClass::FIGURE1
+        .iter()
+        .map(|&class| {
+            (
+                class.label(),
+                analysis.group_conditional(
+                    SystemGroup::Group1,
+                    class,
+                    FailureClass::Any,
+                    Window::Week,
+                    Scope::SameNode,
+                ),
+            )
+        })
+        .collect();
+    println!("{}", render_conditional_table(&bars));
+}

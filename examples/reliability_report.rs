@@ -1,0 +1,105 @@
+//! Site reliability report: the one-page summary a reliability engineer
+//! would hand to management, combining the paper's analyses with the
+//! toolkit's availability and inter-arrival extensions.
+//!
+//! ```text
+//! cargo run --example reliability_report --release
+//! ```
+
+use hpcfail::analysis::availability::AvailabilityAnalysis;
+use hpcfail::analysis::interarrival::ArrivalAnalysis;
+use hpcfail::prelude::*;
+use hpcfail::report::fmt::{factor, pct};
+use hpcfail::report::table::Table;
+
+fn main() {
+    println!("generating demo fleet...");
+    let store = FleetSpec::demo().generate(17).into_store();
+
+    // 1. The headline availability numbers.
+    println!("\n== availability ==");
+    let availability = AvailabilityAnalysis::new(&store);
+    let mut t = Table::new(&[
+        "system",
+        "node MTBF (h)",
+        "MTTR (h)",
+        "availability",
+        "worst cause",
+    ]);
+    for r in availability.all_reports() {
+        t.row(&[
+            format!("system {}", r.system.raw()),
+            format!("{:.0}", r.node_mtbf_hours),
+            format!("{:.1}", r.mttr_hours),
+            format!("{:.3}%", r.availability * 100.0),
+            r.costliest_root_cause()
+                .map_or("-".into(), |c| c.label().to_owned()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // 2. Does the failure process cluster? (It does — plan checkpoints
+    //    accordingly.)
+    println!("== failure process character ==");
+    let arrivals = ArrivalAnalysis::new(&store);
+    for system in store.systems() {
+        match arrivals.profile(system.id(), FailureClass::Any) {
+            Ok(p) => println!(
+                "  {}: MTBF {:.0}h, best fit {}, clustering {}",
+                system.config().name,
+                p.mtbf_hours,
+                p.best_fit().dist,
+                if p.clustering_detected() { "YES" } else { "no" },
+            ),
+            Err(e) => println!("  {}: {e}", system.config().name),
+        }
+    }
+
+    // 3. Top risk factors, from the conditional analyses.
+    println!("\n== top follow-up risks (week after trigger, group 1) ==");
+    let correlation = CorrelationAnalysis::new(&store);
+    let mut risks: Vec<(String, f64, f64)> = FailureClass::FIGURE1
+        .iter()
+        .map(|&class| {
+            let e = correlation.group_conditional(
+                SystemGroup::Group1,
+                class,
+                FailureClass::Any,
+                Window::Week,
+                Scope::SameNode,
+            );
+            (
+                class.label().to_owned(),
+                e.conditional.estimate(),
+                e.factor().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    risks.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("factors are finite"));
+    for (label, p, f) in risks.iter().take(5) {
+        println!(
+            "  after a {label} failure: {} chance of another failure ({})",
+            pct(*p),
+            factor(Some(*f))
+        );
+    }
+
+    // 4. The watch list: most failure-prone nodes.
+    println!("\n== watch list ==");
+    let nodes = NodeAnalysis::new(&store);
+    for system in store.systems() {
+        let id = system.id();
+        if let Some(worst) = nodes.most_failure_prone(id) {
+            let counts = nodes.failure_counts(id);
+            let avg = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+            let count = counts[worst.index()];
+            if count as f64 > 3.0 * avg {
+                println!(
+                    "  {}: {worst} has {count} failures ({:.0}x the average) — inspect",
+                    system.config().name,
+                    count as f64 / avg.max(1e-9),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `hpcfail` — a toolkit for understanding how HPC systems fail.
+//!
+//! This facade crate re-exports the whole `hpcfail` workspace behind one
+//! dependency. The workspace reproduces El-Sayed and Schroeder,
+//! *"Reading between the lines of failure logs: Understanding how HPC
+//! systems fail"* (DSN 2013) as a reusable library:
+//!
+//! - [`types`] — the trace data model (failure taxonomy, records, time).
+//! - [`stats`] — the statistics substrate (distributions, tests, GLMs).
+//! - [`store`] — the indexed trace store with LANL-format CSV I/O.
+//! - [`synth`] — the synthetic LANL-like fleet generator.
+//! - [`analysis`] — the paper's analyses (Sections III-X).
+//! - [`report`] — plain-text tables, bar charts and TSV export.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hpcfail::prelude::*;
+//!
+//! // Generate a small synthetic fleet (deterministic under the seed).
+//! let fleet = FleetSpec::demo().generate(42);
+//! let store = fleet.into_store();
+//!
+//! // How much more likely is a node to fail in the week after a failure?
+//! let analysis = CorrelationAnalysis::new(&store);
+//! let week = analysis.group_conditional(
+//!     SystemGroup::Group1,
+//!     FailureClass::Any,
+//!     FailureClass::Any,
+//!     Window::Week,
+//!     Scope::SameNode,
+//! );
+//! assert!(week.conditional.estimate() > week.baseline.estimate());
+//! ```
+
+pub use hpcfail_core as analysis;
+pub use hpcfail_report as report;
+pub use hpcfail_stats as stats;
+pub use hpcfail_store as store;
+pub use hpcfail_synth as synth;
+pub use hpcfail_types as types;
+
+/// The most frequently used items from every sub-crate.
+pub mod prelude {
+    pub use hpcfail_core::prelude::*;
+    pub use hpcfail_store::prelude::*;
+    pub use hpcfail_synth::prelude::*;
+    pub use hpcfail_types::prelude::*;
+}

@@ -1,0 +1,410 @@
+//! End-to-end assertions of the paper's qualitative findings: generate
+//! a fleet, run every analysis, and check that each section's headline
+//! observation re-emerges from the data.
+
+use hpcfail::analysis::correlation::{CorrelationAnalysis, Scope};
+use hpcfail::analysis::cosmic::CosmicAnalysis;
+use hpcfail::analysis::nodes::NodeAnalysis;
+use hpcfail::analysis::pairwise::PairwiseAnalysis;
+use hpcfail::analysis::power::{PowerAnalysis, PowerProblem};
+use hpcfail::analysis::regression_study::{RegressionStudy, StudyFamily};
+use hpcfail::analysis::temperature::{TempPredictor, TemperatureAnalysis};
+use hpcfail::analysis::usage::UsageAnalysis;
+use hpcfail::analysis::users::UserAnalysis;
+use hpcfail::prelude::*;
+use hpcfail::stats::glm::Family;
+use hpcfail::store::trace::Trace;
+use std::sync::OnceLock;
+
+/// One moderately sized fleet shared by all assertions (a scaled LANL
+/// fleet: big enough for stable statistics, small enough for CI).
+fn fleet() -> &'static Trace {
+    static FLEET: OnceLock<Trace> = OnceLock::new();
+    FLEET.get_or_init(|| FleetSpec::lanl_scaled(0.5).generate(42).into_store())
+}
+
+#[test]
+fn failures_cluster_after_failures() {
+    // Section III-A.1: markedly higher failure probability after a
+    // failure, in both groups, at day and week granularity.
+    let analysis = CorrelationAnalysis::new(fleet());
+    for group in SystemGroup::ALL {
+        for window in [Window::Day, Window::Week] {
+            let e = analysis.group_conditional(
+                group,
+                FailureClass::Any,
+                FailureClass::Any,
+                window,
+                Scope::SameNode,
+            );
+            let f = e.factor().expect("baseline positive");
+            assert!(f > 2.0, "{group:?} {window}: factor {f}");
+            assert!(e.significant_at(0.01));
+        }
+    }
+}
+
+#[test]
+fn group1_baselines_near_paper() {
+    // Paper: 0.31% daily / 2.04% weekly for group 1 — check the order
+    // of magnitude survives scaling.
+    let analysis = CorrelationAnalysis::new(fleet());
+    let day = analysis.group_conditional(
+        SystemGroup::Group1,
+        FailureClass::Any,
+        FailureClass::Any,
+        Window::Day,
+        Scope::SameNode,
+    );
+    let b = day.baseline.estimate();
+    assert!(b > 0.001 && b < 0.02, "daily baseline {b}");
+}
+
+#[test]
+fn environment_and_network_are_strong_triggers() {
+    // Figure 1(a): env/net among the strongest follow-up triggers;
+    // human error the weakest.
+    let analysis = CorrelationAnalysis::new(fleet());
+    let factor = |class| {
+        analysis
+            .group_conditional(
+                SystemGroup::Group1,
+                class,
+                FailureClass::Any,
+                Window::Week,
+                Scope::SameNode,
+            )
+            .factor()
+            .unwrap_or(0.0)
+    };
+    let env = factor(FailureClass::Root(RootCause::Environment));
+    let net = factor(FailureClass::Root(RootCause::Network));
+    let human = factor(FailureClass::Root(RootCause::HumanError));
+    assert!(env > 5.0, "env factor {env}");
+    assert!(net > 5.0, "net factor {net}");
+    assert!(
+        human < env && human < net,
+        "human {human} vs env {env}, net {net}"
+    );
+}
+
+#[test]
+fn same_type_predicts_best() {
+    // Figure 1(b): conditioning on the same type beats conditioning on
+    // any type, for every root cause with enough data.
+    let analysis = PairwiseAnalysis::new(fleet());
+    let rows = analysis.same_type_summaries(SystemGroup::Group1, Window::Week, Scope::SameNode);
+    let mut checked = 0;
+    for row in rows {
+        // Undetermined is operator label noise (a random subset of all
+        // failures), so "same type" carries no extra signal for it.
+        // Rare classes (human error at small scale) are all noise.
+        if row.class == FailureClass::Root(RootCause::Undetermined)
+            || row.after_same_type.conditional.trials() < 300
+        {
+            continue;
+        }
+        assert!(
+            row.after_same_type.conditional.estimate() >= row.after_any.conditional.estimate(),
+            "{}: same-type {} < any {}",
+            row.class.label(),
+            row.after_same_type.conditional.estimate(),
+            row.after_any.conditional.estimate(),
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "only {checked} classes had data");
+}
+
+#[test]
+fn memory_failures_repeat() {
+    // Section III-A.4: strong same-type correlation for memory —
+    // evidence for hard errors.
+    let analysis = CorrelationAnalysis::new(fleet());
+    let mem = FailureClass::Hw(HardwareComponent::MemoryDimm);
+    let e =
+        analysis.group_conditional(SystemGroup::Group1, mem, mem, Window::Week, Scope::SameNode);
+    let f = e.factor().expect("baseline positive");
+    assert!(f > 10.0, "memory self-factor {f}");
+    assert!(e.significant_at(0.01));
+}
+
+#[test]
+fn rack_correlation_weaker_than_node_stronger_than_system() {
+    // Sections III-B/C: same-node >> same-rack > same-system.
+    let analysis = CorrelationAnalysis::new(fleet());
+    let factor = |scope| {
+        analysis
+            .group_conditional(
+                SystemGroup::Group1,
+                FailureClass::Any,
+                FailureClass::Any,
+                Window::Day,
+                scope,
+            )
+            .factor()
+            .unwrap_or(0.0)
+    };
+    let node = factor(Scope::SameNode);
+    let rack = factor(Scope::SameRack);
+    let system = factor(Scope::SameSystem);
+    assert!(node > rack, "node {node} <= rack {rack}");
+    assert!(rack > system, "rack {rack} <= system {system}");
+    assert!(rack > 1.2, "rack factor {rack}");
+}
+
+#[test]
+fn node0_dominates_failure_counts() {
+    // Section IV: node 0 fails far more than the rest; equal-rates
+    // hypothesis rejected even without it.
+    let analysis = NodeAnalysis::new(fleet());
+    for id in [18u16, 19, 20] {
+        let system = SystemId::new(id);
+        let counts = analysis.failure_counts(system);
+        let avg: f64 = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        assert!(
+            counts[0] as f64 > 4.0 * avg,
+            "system {id}: node0 {} vs avg {avg}",
+            counts[0]
+        );
+        let all = analysis
+            .equal_rates_test(system, FailureClass::Any, &[])
+            .unwrap();
+        assert!(all.significant_at(0.01));
+        let rest = analysis
+            .equal_rates_test(system, FailureClass::Any, &[NodeId::new(0)])
+            .unwrap();
+        assert!(
+            rest.significant_at(0.01),
+            "system {id}: frailty heterogeneity persists"
+        );
+    }
+}
+
+#[test]
+fn node0_shifts_toward_env_net_sw() {
+    // Figures 5/6: node 0's increase is strongest for environment,
+    // network and software failures; hardware modest in comparison.
+    let analysis = NodeAnalysis::new(fleet());
+    let system = SystemId::new(18);
+    let factor = |class| {
+        analysis
+            .node_vs_rest(system, NodeId::new(0), class, Window::Month)
+            .factor()
+            .unwrap_or(0.0)
+    };
+    let env = factor(FailureClass::Root(RootCause::Environment));
+    let net = factor(FailureClass::Root(RootCause::Network));
+    let sw = factor(FailureClass::Root(RootCause::Software));
+    let hw = factor(FailureClass::Root(RootCause::Hardware));
+    assert!(env > hw, "env {env} <= hw {hw}");
+    assert!(net > hw, "net {net} <= hw {hw}");
+    assert!(sw > hw, "sw {sw} <= hw {hw}");
+    assert!(env > 20.0, "env factor {env}");
+}
+
+#[test]
+fn usage_correlation_carried_by_node0() {
+    // Section V: positive job/failure correlation, collapsing when
+    // node 0 is removed.
+    let analysis = UsageAnalysis::new(fleet());
+    for id in [8u16, 20] {
+        let r = analysis.jobs_failures_pearson(SystemId::new(id));
+        let all = r.all_nodes.expect("jobs data present");
+        let rest = r.without_node0.expect("jobs data present");
+        assert!(all > 0.05, "system {id}: r {all}");
+        assert!(rest < all, "system {id}: rest {rest} >= all {all}");
+    }
+}
+
+#[test]
+fn heavy_users_fail_at_different_rates() {
+    // Section VI: saturated per-user model beats the common rate.
+    let analysis = UserAnalysis::new(fleet());
+    for id in [8u16, 20] {
+        let top = analysis.heaviest_users(SystemId::new(id), 50);
+        assert_eq!(top.len(), 50, "system {id} has 50 heavy users");
+        let t = analysis.heterogeneity_test(&top).expect("enough users");
+        assert!(t.significant_at(0.1), "system {id}: p = {}", t.p_value);
+    }
+}
+
+#[test]
+fn power_problems_dominate_env_failures() {
+    // Figure 9: power-related sub-causes are the majority of
+    // environmental failures.
+    let analysis = PowerAnalysis::new(fleet());
+    let shares = analysis.env_shares();
+    let power: f64 = shares
+        .iter()
+        .filter(|(c, _)| c.is_power_related())
+        .map(|(_, s)| s)
+        .sum();
+    assert!(power > 0.45, "power-related share {power}");
+}
+
+#[test]
+fn power_problems_raise_hardware_and_software_failures() {
+    // Figures 10/11 (left): significant increases for every power
+    // problem at the month window.
+    let analysis = PowerAnalysis::new(fleet());
+    for problem in PowerProblem::ALL {
+        for target in [
+            FailureClass::Root(RootCause::Hardware),
+            FailureClass::Root(RootCause::Software),
+        ] {
+            let e = analysis.conditional_after(problem, target, Window::Month);
+            if e.conditional.trials() < 30 {
+                continue;
+            }
+            let f = e.factor().expect("baseline positive");
+            assert!(f > 1.3, "{problem:?} -> {target:?}: factor {f}");
+        }
+    }
+}
+
+#[test]
+fn cpus_least_affected_by_power() {
+    // Figure 10 (right): CPUs show the smallest increase of all
+    // components after power problems.
+    let analysis = PowerAnalysis::new(fleet());
+    let rows = analysis.figure10_right();
+    let avg_factor = |component: HardwareComponent| {
+        let fs: Vec<f64> = rows
+            .iter()
+            .filter(|(_, c, e)| *c == component && e.conditional.trials() >= 20)
+            .filter_map(|(_, _, e)| e.factor())
+            .collect();
+        fs.iter().sum::<f64>() / fs.len().max(1) as f64
+    };
+    let cpu = avg_factor(HardwareComponent::Cpu);
+    let others = [
+        HardwareComponent::MemoryDimm,
+        HardwareComponent::NodeBoard,
+        HardwareComponent::PowerSupply,
+    ];
+    let mean_others = others.iter().map(|&c| avg_factor(c)).sum::<f64>() / others.len() as f64;
+    assert!(
+        cpu < mean_others,
+        "CPU {cpu} >= mean of others {mean_others}"
+    );
+    assert!(cpu < 3.5, "CPU factor {cpu} too large");
+}
+
+#[test]
+fn storage_software_fails_after_power_problems() {
+    // Figure 11 (right): DST dominates software failures after outages.
+    let analysis = PowerAnalysis::new(fleet());
+    let dst = analysis.conditional_after(
+        PowerProblem::Outage,
+        FailureClass::Sw(SoftwareCause::Dst),
+        Window::Month,
+    );
+    let os = analysis.conditional_after(
+        PowerProblem::Outage,
+        FailureClass::Sw(SoftwareCause::Os),
+        Window::Month,
+    );
+    assert!(
+        dst.conditional.estimate() > os.conditional.estimate(),
+        "DST {} <= OS {}",
+        dst.conditional.estimate(),
+        os.conditional.estimate()
+    );
+}
+
+#[test]
+fn power_problems_trigger_unscheduled_maintenance() {
+    // Section VII-A.2: maintenance probability rises by a large factor.
+    let analysis = PowerAnalysis::new(fleet());
+    let outage = analysis.maintenance_after(PowerProblem::Outage);
+    let f = outage.factor().expect("baseline positive");
+    assert!(f > 5.0, "outage maintenance factor {f}");
+    assert!(outage.significant_at(0.01));
+}
+
+#[test]
+fn fan_failures_precede_hardware_failures() {
+    // Figure 13: fan failures strongly elevate subsequent hardware
+    // failures; MSC boards and midplanes respond only to fans.
+    let analysis = TemperatureAnalysis::new(fleet());
+    let rows = analysis.figure13_left();
+    let fan_day = rows
+        .iter()
+        .find(|(t, w, _)| {
+            matches!(t, hpcfail::analysis::temperature::TempTrigger::Fan) && *w == Window::Day
+        })
+        .expect("fan day row")
+        .2;
+    let f = fan_day.factor().expect("baseline positive");
+    assert!(f > 4.0, "fan day factor {f}");
+}
+
+#[test]
+fn average_temperature_not_predictive() {
+    // Section VIII-A: under the overdispersion-robust NB model, the
+    // temperature aggregates do not predict hardware outages.
+    let analysis = TemperatureAnalysis::new(fleet());
+    let fit = analysis
+        .regression(
+            SystemId::new(20),
+            TempPredictor::Average,
+            FailureClass::Root(RootCause::Hardware),
+            Family::NegativeBinomial { theta: 1.0 },
+        )
+        .expect("system 20 has temperature data");
+    let c = fit.coefficient("avg_temp").expect("predictor kept");
+    assert!(!c.significant_at(0.01), "avg_temp p = {}", c.p_value);
+}
+
+#[test]
+fn cpu_tracks_neutron_flux_dram_does_not() {
+    // Figure 14: CPU failures positively correlated with monthly
+    // neutron flux; DRAM flat (hard errors dominate).
+    // At reduced scale each system spans only part of a solar cycle,
+    // so judge the *mean* correlation across systems, as the paper's
+    // per-system panels do qualitatively.
+    let analysis = CosmicAnalysis::new(fleet());
+    let mut cpu_sum = 0.0;
+    let mut dram_sum = 0.0;
+    let mut systems = 0;
+    for id in [2u16, 18, 19, 20] {
+        let system = SystemId::new(id);
+        let (Some(cpu), Some(dram)) = (
+            analysis.flux_correlation(system, FailureClass::Hw(HardwareComponent::Cpu)),
+            analysis.flux_correlation(system, FailureClass::Hw(HardwareComponent::MemoryDimm)),
+        ) else {
+            continue;
+        };
+        systems += 1;
+        cpu_sum += cpu;
+        dram_sum += dram;
+    }
+    assert!(systems >= 3, "cosmic series available");
+    let cpu_avg = cpu_sum / systems as f64;
+    let dram_avg = dram_sum / systems as f64;
+    assert!(cpu_avg > 0.03, "CPU mean correlation {cpu_avg}");
+    assert!(cpu_avg > dram_avg, "CPU {cpu_avg} vs DRAM {dram_avg}");
+    assert!(dram_avg.abs() < 0.25, "DRAM mean correlation {dram_avg}");
+}
+
+#[test]
+fn joint_regression_finds_usage_most_significant() {
+    // Section X / Tables II-III: usage variables carry the signal.
+    let study = RegressionStudy::new(fleet());
+    let pois = study
+        .fit(SystemId::new(20), StudyFamily::Poisson, false)
+        .expect("fits");
+    let sig = RegressionStudy::significant_predictors(&pois, 0.01);
+    assert!(
+        sig.contains(&"num_jobs") || sig.contains(&"util"),
+        "poisson significant: {sig:?}"
+    );
+    let nb = study
+        .fit(SystemId::new(20), StudyFamily::NegativeBinomial, false)
+        .expect("fits");
+    let nb_sig = RegressionStudy::significant_predictors(&nb, 0.05);
+    // Temperature and position never beat usage.
+    assert!(!nb_sig.contains(&"avg_temp"), "nb significant: {nb_sig:?}");
+    assert!(!nb_sig.contains(&"PIR"), "nb significant: {nb_sig:?}");
+}
