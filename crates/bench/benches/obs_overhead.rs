@@ -1,0 +1,87 @@
+//! Measures the cost of the observability layer on the hot paths it
+//! instruments.
+//!
+//! Two kinds of comparison:
+//!
+//! - micro: a raw front-door call (counter increment, histogram record,
+//!   span enter/exit) against the equivalent uninstrumented work;
+//! - macro: `parallel_map` over a realistic per-item workload against a
+//!   hand-rolled uninstrumented equivalent, which bounds the
+//!   end-to-end overhead of its instrumentation.
+//!
+//! Build with `--no-default-features --features no-obs` to see the
+//! compiled-out variant: the front-door calls then cost nothing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpcfail_core::parallel::parallel_map;
+
+/// The per-item workload for the macro comparison: enough arithmetic
+/// that one item is comparable to a small window-counting query.
+fn work(x: &u64) -> u64 {
+    let mut acc = *x;
+    for i in 0..512 {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).rotate_left(17) ^ i;
+    }
+    acc
+}
+
+/// `parallel_map` without any instrumentation, for the baseline.
+fn bare_parallel_map(items: &[u64], threads: usize) -> Vec<u64> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let results: Vec<Mutex<Option<u64>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let results = &results;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock().unwrap() = Some(work(&items[i]));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().unwrap())
+        .collect()
+}
+
+fn bench_front_door(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_front_door");
+    group.bench_function("counter_inc", |b| {
+        let counter = hpcfail_obs::counter("bench.overhead.count");
+        b.iter(|| counter.inc());
+    });
+    group.bench_function("histogram_record", |b| {
+        let hist = hpcfail_obs::histogram("bench.overhead.hist");
+        b.iter(|| hist.record(black_box(1_500)));
+    });
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            let _span = hpcfail_obs::span("bench.overhead.span");
+        });
+    });
+    group.bench_function("registry_lookup", |b| {
+        b.iter(|| hpcfail_obs::counter(black_box("bench.overhead.lookup")));
+    });
+    group.finish();
+}
+
+fn bench_parallel_map_overhead(c: &mut Criterion) {
+    let items: Vec<u64> = (0..4_096).collect();
+    let mut group = c.benchmark_group("obs_parallel_map");
+    group.bench_function("instrumented", |b| {
+        b.iter(|| parallel_map(black_box(&items), 4, work));
+    });
+    group.bench_function("uninstrumented_baseline", |b| {
+        b.iter(|| bare_parallel_map(black_box(&items), 4));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_front_door, bench_parallel_map_overhead);
+criterion_main!(benches);

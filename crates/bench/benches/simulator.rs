@@ -29,7 +29,8 @@ fn bench_generation(c: &mut Criterion) {
 fn bench_ablations(c: &mut Criterion) {
     let fleet = small_fleet();
     let mut group = c.benchmark_group("ablations");
-    let cases: [(&str, fn() -> SimOptions); 5] = [
+    type Case = (&'static str, fn() -> SimOptions);
+    let cases: [Case; 5] = [
         ("full", SimOptions::default),
         ("no_excitation", || SimOptions {
             excitation: ExcitationMatrix::disabled(),

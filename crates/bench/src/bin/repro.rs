@@ -1,22 +1,33 @@
 //! Command-line reproduction harness.
 //!
 //! ```text
-//! repro [--scale S] [--seed N] [--list] <experiment>... | all
+//! repro [--scale S] [--seed N] [--quiet] [--manifest PATH] [--list] <experiment>... | all
 //! ```
+//!
+//! Timing is collected by the `hpcfail-obs` layer: fleet generation and
+//! every experiment run inside spans, and the run ends with a summary
+//! table on stderr (suppressed by `--quiet`) and, under `--manifest`, a
+//! machine-readable JSON run manifest.
 
 use hpcfail_bench::{experiment, ReproContext, EXPERIMENTS};
+use hpcfail_obs::manifest::{git_describe, ManifestSink};
+use hpcfail_obs::sink::Sink;
+use hpcfail_report::obs_sink::TableSink;
 use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
-        "usage: repro [--scale S] [--seed N] [--list] <experiment>... | all\n\n\
+        "usage: repro [options] <experiment>... | all\n\n\
          Regenerates the tables and figures of El-Sayed & Schroeder (DSN 2013)\n\
          against a synthetic LANL-like fleet.\n\n\
          options:\n\
-           --scale S   fleet scale in (0, 1], default 1.0 (full LANL size)\n\
-           --seed N    generation seed, default 42\n\
-           --out DIR   also write each report to DIR/<id>.txt\n\
-           --list      list experiments and exit\n\n\
+           --scale S        fleet scale in (0, 1], default 1.0 (full LANL size)\n\
+           --seed N         generation seed, default 42\n\
+           --out DIR        also write each report to DIR/<id>.txt\n\
+           --manifest PATH  write a JSON run manifest (seed, scale, build,\n\
+                            per-span timings, counters) to PATH\n\
+           --quiet          suppress progress and the metrics summary on stderr\n\
+           --list           list experiments and exit\n\n\
          experiments:\n",
     );
     for e in EXPERIMENTS {
@@ -30,6 +41,8 @@ fn main() -> ExitCode {
     let mut scale = 1.0f64;
     let mut seed = 42u64;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut manifest_path: Option<std::path::PathBuf> = None;
+    let mut quiet = false;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -41,6 +54,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--manifest" => match iter.next() {
+                Some(path) => manifest_path = Some(path.into()),
+                None => {
+                    eprintln!("--manifest needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" => quiet = true,
             "--scale" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v > 0.0 && v <= 1.0 => scale = v,
                 _ => {
@@ -81,15 +102,20 @@ fn main() -> ExitCode {
         }
     }
 
-    eprintln!("generating fleet (scale {scale}, seed {seed})...");
-    let start = std::time::Instant::now();
-    let ctx = ReproContext::generate(scale, seed);
-    eprintln!(
-        "generated {} failures across {} systems in {:.1?}\n",
-        ctx.trace().total_failures(),
-        ctx.trace().len(),
-        start.elapsed()
-    );
+    if !quiet {
+        eprintln!("generating fleet (scale {scale}, seed {seed})...");
+    }
+    let ctx = {
+        let _span = hpcfail_obs::span("repro.generate");
+        ReproContext::generate(scale, seed)
+    };
+    if !quiet {
+        eprintln!(
+            "generated {} failures across {} systems\n",
+            ctx.trace().total_failures(),
+            ctx.trace().len(),
+        );
+    }
 
     if let Some(dir) = &out_dir {
         if let Err(err) = std::fs::create_dir_all(dir) {
@@ -99,17 +125,32 @@ fn main() -> ExitCode {
     }
     for id in &ids {
         let e = experiment(id).expect("validated above");
-        let start = std::time::Instant::now();
-        let report = (e.run)(&ctx);
+        let report = e.execute(&ctx);
         println!("==== {} ({}) ====", e.id, e.title);
         println!("{report}");
-        eprintln!("[{} took {:.1?}]\n", e.id, start.elapsed());
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.txt", e.id));
             if let Err(err) = std::fs::write(&path, &report) {
                 eprintln!("cannot write {}: {err}", path.display());
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    let snapshot = hpcfail_obs::snapshot();
+    if !quiet {
+        if let Err(err) = TableSink::new(std::io::stderr().lock()).export(&snapshot) {
+            eprintln!("cannot render metrics summary: {err}");
+        }
+    }
+    if let Some(path) = &manifest_path {
+        let mut sink = ManifestSink::new(path, seed, scale, git_describe());
+        if let Err(err) = sink.export(&snapshot) {
+            eprintln!("cannot write manifest {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("wrote run manifest to {}", path.display());
         }
     }
     ExitCode::SUCCESS

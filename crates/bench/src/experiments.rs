@@ -1018,7 +1018,7 @@ pub(crate) fn checkpoint(ctx: &ReproContext) -> String {
             },
         ),
         (
-            format!("adaptive: Daly + 2h while flagged (day after any failure)"),
+            "adaptive: Daly + 2h while flagged (day after any failure)".to_string(),
             CheckpointPolicy::Adaptive {
                 base_hours: daly,
                 flagged_hours: 2.0,
@@ -1029,7 +1029,7 @@ pub(crate) fn checkpoint(ctx: &ReproContext) -> String {
             },
         ),
         (
-            format!("adaptive: Daly + 4h while flagged (week after any failure)"),
+            "adaptive: Daly + 4h while flagged (week after any failure)".to_string(),
             CheckpointPolicy::Adaptive {
                 base_hours: daly,
                 flagged_hours: 4.0,

@@ -74,6 +74,17 @@ pub struct Experiment {
     pub run: fn(&ReproContext) -> String,
 }
 
+impl Experiment {
+    /// Runs the experiment inside an `exp.<id>` observability span, so
+    /// every run shows up in snapshots and manifests with its wall
+    /// time. Prefer this over calling `run` directly.
+    pub fn execute(&self, ctx: &ReproContext) -> String {
+        let _span = hpcfail_obs::span(&format!("exp.{}", self.id));
+        hpcfail_obs::counter("bench.experiments_run").inc();
+        (self.run)(ctx)
+    }
+}
+
 /// Every experiment, in paper order.
 pub const EXPERIMENTS: &[Experiment] = &[
     Experiment {

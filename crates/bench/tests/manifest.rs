@@ -1,0 +1,68 @@
+//! End-to-end check of the `repro --manifest` flow: run the real
+//! binary, parse the manifest it writes, and check it describes the
+//! run.
+
+use hpcfail_obs::manifest::RunManifest;
+use std::process::Command;
+
+fn manifest_from_run(args: &[&str], path: &std::path::Path) -> RunManifest {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .arg("--manifest")
+        .arg(path)
+        .output()
+        .expect("repro runs");
+    assert!(
+        output.status.success(),
+        "repro failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(path).expect("manifest written");
+    RunManifest::from_json_str(&text).expect("manifest parses")
+}
+
+#[test]
+fn manifest_describes_the_run() {
+    let path = std::env::temp_dir().join(format!("hpcfail-manifest-{}.json", std::process::id()));
+    let manifest = manifest_from_run(
+        &[
+            "--scale", "0.05", "--seed", "7", "--quiet", "sec3a", "fig9", "fig14",
+        ],
+        &path,
+    );
+    std::fs::remove_file(&path).ok();
+
+    // Run parameters round-trip.
+    assert_eq!(manifest.seed, 7);
+    assert!((manifest.scale - 0.05).abs() < 1e-12);
+
+    if !hpcfail_obs::ENABLED {
+        return; // under no-obs the manifest legitimately observes nothing
+    }
+
+    // One span per executed experiment, each entered exactly once.
+    for id in ["sec3a", "fig9", "fig14"] {
+        let span = manifest
+            .snapshot
+            .spans
+            .get(&format!("exp.{id}"))
+            .unwrap_or_else(|| panic!("missing span exp.{id}"));
+        assert_eq!(span.count, 1, "exp.{id} entered once");
+        assert!(span.total_ns > 0, "exp.{id} took time");
+        assert!(span.self_ns <= span.total_ns);
+    }
+    let experiment_spans = manifest
+        .snapshot
+        .spans
+        .keys()
+        .filter(|k| k.starts_with("exp."))
+        .count();
+    assert_eq!(experiment_spans, 3, "exactly the executed experiments");
+    assert_eq!(manifest.snapshot.counters["bench.experiments_run"], 3);
+
+    // The pipeline stages underneath reported in.
+    assert_eq!(manifest.snapshot.counters["synth.fleets_generated"], 1);
+    assert!(manifest.snapshot.counters["synth.records.failure"] > 0);
+    assert!(manifest.snapshot.counters["store.rows_scanned"] > 0);
+    assert!(manifest.snapshot.spans.contains_key("repro.generate"));
+}

@@ -192,7 +192,7 @@ impl<'a> NodeAnalysis<'a> {
         }
         let failures: Vec<f64> = counts.values().map(|&(f, _)| f).collect();
         let exposure: Vec<f64> = counts.values().map(|&(_, n)| n).collect();
-        if exposure.iter().any(|&e| e == 0.0) {
+        if exposure.contains(&0.0) {
             return None;
         }
         Some(chi_square_equal_proportions(&failures, &exposure))

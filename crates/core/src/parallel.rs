@@ -3,16 +3,32 @@
 //!
 //! The reproduction harness evaluates dozens of independent
 //! (trigger-class, window, scope) combinations; this helper spreads
-//! them over threads with `crossbeam::scope` while keeping results in
+//! them over `std::thread::scope` workers while keeping results in
 //! input order.
+//!
+//! Each worker reports what it did to the observability registry, at
+//! per-worker (not per-item) granularity so the hot loop carries no
+//! atomics or clock reads: `core.parallel.items` counts items processed
+//! fleet-wide, `core.parallel.worker_items` is a histogram of how many
+//! items each worker claimed, and `core.parallel.worker_busy_ns` /
+//! `core.parallel.worker_idle_ns` expose load imbalance — a worker's
+//! idle time is the gap between its own busy time and the fan-out's
+//! wall time.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Applies `f` to every item, using up to `threads` worker threads, and
 /// returns results in input order.
 ///
 /// Falls back to a sequential loop for a single thread or a single
 /// item. `f` must be `Sync` because multiple workers share it.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the panic is resumed on the calling
+/// thread with the original payload once all workers have stopped.
 ///
 /// # Examples
 ///
@@ -29,26 +45,76 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let threads = threads.max(1).min(items.len().max(1));
+    let items_counter = hpcfail_obs::counter("core.parallel.items");
     if threads == 1 || items.len() <= 1 {
+        items_counter.add(items.len() as u64);
         return items.iter().map(&f).collect();
     }
+
     let results: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *results[i].lock() = Some(f(&items[i]));
-            });
+    let next = AtomicUsize::new(0);
+    let busy_ns: Vec<Mutex<u64>> = (0..threads).map(|_| Mutex::new(0)).collect();
+    let worker_items = hpcfail_obs::histogram("core.parallel.worker_items");
+    let fan_out = Instant::now();
+    let panic_payload = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let results = &results;
+                let next = &next;
+                let f = &f;
+                let items_counter = items_counter.clone();
+                let worker_items = worker_items.clone();
+                let busy_cell = &busy_ns[worker];
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let out = f(&items[i]);
+                        claimed += 1;
+                        *results[i].lock().expect("result slot lock") = Some(out);
+                    }
+                    items_counter.add(claimed);
+                    worker_items.record(claimed);
+                    *busy_cell.lock().expect("busy cell lock") =
+                        started.elapsed().as_nanos() as u64;
+                })
+            })
+            .collect();
+        // Join every worker before deciding the outcome, so a panic in
+        // one closure cannot leave others running; resume the first
+        // panic payload observed, in worker order.
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
         }
-    })
-    .expect("analysis worker panicked");
+        first_panic
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+
+    let wall_ns = fan_out.elapsed().as_nanos() as u64;
+    let busy_hist = hpcfail_obs::histogram("core.parallel.worker_busy_ns");
+    let idle_hist = hpcfail_obs::histogram("core.parallel.worker_idle_ns");
+    for cell in &busy_ns {
+        let busy = *cell.lock().expect("busy cell lock");
+        busy_hist.record(busy);
+        idle_hist.record(wall_ns.saturating_sub(busy));
+    }
+
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -92,5 +158,33 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 33 {
+                    panic!("worker exploded on {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("worker exploded on 33"),
+            "original payload preserved, got {message:?}"
+        );
+    }
+
+    #[test]
+    fn panic_in_sequential_fallback_propagates() {
+        let result = std::panic::catch_unwind(|| parallel_map(&[1], 1, |_| panic!("boom")));
+        assert!(result.is_err());
     }
 }

@@ -1,0 +1,125 @@
+//! Scoped wall-clock spans with RAII guards.
+//!
+//! A span measures the wall time between [`Span::enter`] and guard
+//! drop, so early returns and panics still close it. Spans nest: each
+//! thread keeps a stack, and a parent's *self* time excludes the total
+//! time of the spans entered beneath it, so hierarchical profiles
+//! attribute time to the innermost span doing the work.
+
+use crate::registry::{Registry, SpanCell};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    // One child-time accumulator per open span on this thread.
+    static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; closes (and records) on drop.
+///
+/// ```
+/// use hpcfail_obs::registry::Registry;
+/// use hpcfail_obs::span::Span;
+///
+/// let registry = Registry::new();
+/// {
+///     let _outer = Span::enter_in(&registry, "outer");
+///     let _inner = Span::enter_in(&registry, "outer.step");
+/// }
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.spans["outer"].count, 1);
+/// assert!(snap.spans["outer"].total_ns >= snap.spans["outer.step"].total_ns);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    cell: SpanCell,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span recording into the global registry.
+    pub fn enter(name: &str) -> Span {
+        Span::enter_in(crate::registry::global(), name)
+    }
+
+    /// Opens a span recording into `registry`.
+    pub fn enter_in(registry: &Registry, name: &str) -> Span {
+        let cell = registry.span_cell(name);
+        CHILD_NS.with_borrow_mut(|stack| stack.push(0));
+        Span {
+            cell,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let total_ns = self.start.elapsed().as_nanos() as u64;
+        let child_ns = CHILD_NS.with_borrow_mut(|stack| {
+            let child_ns = stack.pop().unwrap_or(0);
+            // Bill this span's total to the parent, if one is open.
+            if let Some(parent) = stack.last_mut() {
+                *parent += total_ns;
+            }
+            child_ns
+        });
+        self.cell
+            .record(total_ns, total_ns.saturating_sub(child_ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_on_early_return() {
+        let registry = Registry::new();
+        let run = |fail: bool| -> Result<(), ()> {
+            let _span = Span::enter_in(&registry, "work");
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        };
+        run(true).unwrap_err();
+        run(false).unwrap();
+        assert_eq!(registry.snapshot().spans["work"].count, 2);
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time_to_innermost() {
+        let registry = Registry::new();
+        {
+            let _outer = Span::enter_in(&registry, "outer");
+            std::thread::sleep(Duration::from_millis(5));
+            {
+                let _inner = Span::enter_in(&registry, "inner");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+        let snap = registry.snapshot();
+        let outer = snap.spans["outer"];
+        let inner = snap.spans["inner"];
+        // The inner sleep belongs to the inner span alone.
+        assert!(inner.self_ns >= 15_000_000, "inner self {}", inner.self_ns);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns + 5_000_000,
+            "outer self {} should exclude inner {}",
+            outer.self_ns,
+            inner.total_ns
+        );
+    }
+
+    #[test]
+    fn sibling_spans_accumulate() {
+        let registry = Registry::new();
+        for _ in 0..3 {
+            let _s = Span::enter_in(&registry, "loop.body");
+        }
+        assert_eq!(registry.snapshot().spans["loop.body"].count, 3);
+    }
+}

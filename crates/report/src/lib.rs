@@ -11,6 +11,7 @@
 pub mod chart;
 pub mod figures;
 pub mod fmt;
+pub mod obs_sink;
 pub mod table;
 
 /// The most frequently used items.

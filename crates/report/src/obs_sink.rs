@@ -1,0 +1,182 @@
+//! Human-readable export of an observability snapshot.
+//!
+//! [`TableSink`] is the counterpart to the JSON manifest sink in
+//! `hpcfail-obs`: it renders a [`hpcfail_obs::Snapshot`] as
+//! aligned text tables (spans, counters, gauges, histograms) suitable
+//! for a terminal. It lives here rather than in `hpcfail-obs` because
+//! the rendering reuses [`crate::table::Table`] and the dependency
+//! points the other way.
+
+use std::io::{self, Write};
+
+use hpcfail_obs::registry::Snapshot;
+use hpcfail_obs::sink::Sink;
+
+use crate::table::{Align, Table};
+
+/// Renders snapshots as aligned text tables to any writer.
+///
+/// # Examples
+///
+/// ```
+/// use hpcfail_obs::sink::Sink;
+/// use hpcfail_report::obs_sink::TableSink;
+///
+/// let snapshot = hpcfail_obs::Snapshot::default();
+/// let mut out = Vec::new();
+/// TableSink::new(&mut out).export(&snapshot).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct TableSink<W> {
+    writer: W,
+}
+
+impl<W: Write> TableSink<W> {
+    /// Creates a sink writing to `writer`.
+    pub fn new(writer: W) -> Self {
+        TableSink { writer }
+    }
+}
+
+/// Nanoseconds as a compact human duration.
+fn ns(v: u64) -> String {
+    ms(v as f64)
+}
+
+/// Fractional nanoseconds as a compact human duration.
+fn ms(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}us", v / 1e3)
+    } else {
+        format!("{v:.0}ns")
+    }
+}
+
+/// Renders the snapshot's non-empty sections as tables.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.spans.is_empty() {
+        let mut t = Table::new(&["span", "count", "total", "self"]);
+        for c in 1..4 {
+            t.align(c, Align::Right);
+        }
+        for (name, s) in &snapshot.spans {
+            t.row(&[
+                name.clone(),
+                s.count.to_string(),
+                ns(s.total_ns),
+                ns(s.self_ns),
+            ]);
+        }
+        out.push_str("spans\n");
+        out.push_str(&t.render());
+    }
+    if !snapshot.counters.is_empty() {
+        let mut t = Table::new(&["counter", "total"]);
+        t.align(1, Align::Right);
+        for (name, v) in &snapshot.counters {
+            t.row(&[name.clone(), v.to_string()]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("counters\n");
+        out.push_str(&t.render());
+    }
+    if !snapshot.gauges.is_empty() {
+        let mut t = Table::new(&["gauge", "value"]);
+        t.align(1, Align::Right);
+        for (name, v) in &snapshot.gauges {
+            t.row(&[name.clone(), format!("{v:.4}")]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("gauges\n");
+        out.push_str(&t.render());
+    }
+    if !snapshot.histograms.is_empty() {
+        let mut t = Table::new(&["histogram", "count", "p50", "p90", "p99", "max"]);
+        for c in 1..6 {
+            t.align(c, Align::Right);
+        }
+        for (name, h) in &snapshot.histograms {
+            t.row(&[
+                name.clone(),
+                h.count.to_string(),
+                ms(h.p50),
+                ms(h.p90),
+                ms(h.p99),
+                ns(h.max),
+            ]);
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("histograms\n");
+        out.push_str(&t.render());
+    }
+    out
+}
+
+impl<W: Write> Sink for TableSink<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.writer.write_all(render(snapshot).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcfail_obs::Registry;
+
+    #[test]
+    fn renders_all_sections() {
+        let reg = Registry::new();
+        reg.counter("a.count").add(7);
+        reg.gauge("b.rate").set(0.5);
+        reg.histogram("c.lat_ns").record(1_500_000);
+        drop(hpcfail_obs::span::Span::enter_in(&reg, "d.phase"));
+        let text = render(&reg.snapshot());
+        for needle in [
+            "spans",
+            "counters",
+            "gauges",
+            "histograms",
+            "a.count",
+            "7",
+            "b.rate",
+            "0.5000",
+            "c.lat_ns",
+            "d.phase",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        assert!(render(&Snapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn sink_writes_to_writer() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        let mut buf = Vec::new();
+        TableSink::new(&mut buf).export(&reg.snapshot()).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("x"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(ns(500), "500ns");
+        assert_eq!(ns(2_500), "2.5us");
+        assert_eq!(ns(3_400_000), "3.40ms");
+        assert_eq!(ns(7_120_000_000), "7.12s");
+    }
+}

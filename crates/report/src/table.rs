@@ -99,11 +99,11 @@ impl Table {
             Align::Left => format!("{cell:<width$}"),
             Align::Right => format!("{cell:>width$}"),
         };
-        for i in 0..cols {
+        for (i, header) in self.headers.iter().enumerate() {
             if i > 0 {
                 out.push_str("  ");
             }
-            out.push_str(&pad(&self.headers[i], widths[i], self.aligns[i]));
+            out.push_str(&pad(header, widths[i], self.aligns[i]));
         }
         out.push('\n');
         let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);

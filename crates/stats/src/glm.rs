@@ -460,8 +460,8 @@ fn irls(
 
     // Fisher information and standard errors.
     let mut xtwx = Matrix::zeros(p, p);
-    for i in 0..n {
-        let w = family.weight(mu[i]).max(1e-12);
+    for (i, &m) in mu.iter().enumerate() {
+        let w = family.weight(m).max(1e-12);
         let row = x.row(i);
         for a in 0..p {
             for b in a..p {

@@ -112,7 +112,7 @@ proptest! {
     ) {
         let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
         if let Some(r) = pearson(&xs, &ys) {
-            prop_assert!(r <= 1.0 + 1e-9 && r >= -1.0 - 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
             // Affine transforms with positive scale preserve r.
             let zs: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
             if let Some(r2) = pearson(&zs, &ys) {
@@ -129,9 +129,8 @@ proptest! {
         let cubed: Vec<f64> = xs.iter().map(|x| x * x * x).collect();
         let a = spearman(&xs, &ys);
         let b = spearman(&cubed, &ys);
-        match (a, b) {
-            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
-            _ => {}
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!((a - b).abs() < 1e-9);
         }
     }
 

@@ -196,6 +196,7 @@ pub fn read_failures<R: Read>(r: R) -> Result<Vec<FailureRecord>, CsvError> {
         }
         out.push(record);
     }
+    hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
 }
 
@@ -265,6 +266,7 @@ pub fn read_jobs<R: Read>(r: R) -> Result<Vec<JobRecord>, CsvError> {
             nodes,
         });
     }
+    hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
 }
 
@@ -311,6 +313,7 @@ pub fn read_temperatures<R: Read>(r: R) -> Result<Vec<TemperatureSample>, CsvErr
             celsius: f.next("temperature")?,
         });
     }
+    hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
 }
 
@@ -365,6 +368,7 @@ pub fn read_maintenance<R: Read>(r: R) -> Result<Vec<MaintenanceRecord>, CsvErro
             scheduled: sched != 0,
         });
     }
+    hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
 }
 
@@ -399,6 +403,7 @@ pub fn read_neutron<R: Read>(r: R) -> Result<Vec<NeutronSample>, CsvError> {
             counts_per_minute: f.next("counts")?,
         });
     }
+    hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
 }
 

@@ -281,6 +281,7 @@ pub fn read_lanl_failures<R: Read>(
         }
         out.push(record);
     }
+    hpcfail_obs::counter("store.lanl_rows_read").add(out.len() as u64);
     Ok(out)
 }
 

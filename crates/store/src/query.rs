@@ -56,12 +56,15 @@ impl<'a> NodeEvents<'a> {
     /// start) on which `node` had a failure of `class`.
     pub fn failure_days(&self, node: NodeId, class: FailureClass) -> Vec<i64> {
         let start = self.system.config().start;
+        let mut scanned = 0u64;
         let mut days: Vec<i64> = self
             .system
             .node_failures(node)
+            .inspect(|_| scanned += 1)
             .filter(|f| class.matches(f))
             .map(|f| (f.time - start).as_seconds().div_euclid(SECONDS_PER_DAY))
             .collect();
+        record_scan(scanned, days.len() as u64);
         days.dedup();
         days
     }
@@ -70,15 +73,32 @@ impl<'a> NodeEvents<'a> {
     /// hardware maintenance.
     pub fn unscheduled_hw_maintenance_days(&self, node: NodeId) -> Vec<i64> {
         let start = self.system.config().start;
+        let mut scanned = 0u64;
         let mut days: Vec<i64> = self
             .system
             .node_maintenance(node)
+            .inspect(|_| scanned += 1)
             .filter(|m| m.is_unscheduled_hardware())
             .map(|m| (m.time - start).as_seconds().div_euclid(SECONDS_PER_DAY))
             .collect();
+        record_scan(scanned, days.len() as u64);
         days.sort_unstable();
         days.dedup();
         days
+    }
+}
+
+/// Feeds one filtered scan into the observability registry:
+/// `store.rows_scanned` / `store.rows_matched` count rows, and
+/// `store.filter_hit_rate` tracks the running matched/scanned ratio.
+fn record_scan(scanned: u64, matched: u64) {
+    let scanned_total = hpcfail_obs::counter("store.rows_scanned");
+    let matched_total = hpcfail_obs::counter("store.rows_matched");
+    scanned_total.add(scanned);
+    matched_total.add(matched);
+    let s = scanned_total.get();
+    if s > 0 {
+        hpcfail_obs::gauge("store.filter_hit_rate").set(matched_total.get() as f64 / s as f64);
     }
 }
 

@@ -149,7 +149,9 @@ pub fn generate_events<R: Rng + ?Sized>(
     // Outages and UPS failures strike the same weak spots repeatedly
     // (the paper's Fig. 12: outages/UPS correlate across nodes and over
     // time, spikes look random); remember the last zone per kind.
-    let mut sticky: [Option<((u32, u32), (u32, u32))>; 4] = [None; 4];
+    // Node range + rack range of the zone an event kind last struck.
+    type StickyZone = ((u32, u32), (u32, u32));
+    let mut sticky: [Option<StickyZone>; 4] = [None; 4];
     for day in 0..days {
         for (k, &(kind, rate)) in kinds.iter().enumerate() {
             if rng.gen_range(0.0..1.0) < rate {

@@ -76,6 +76,8 @@ impl FleetSpec {
 
     /// Generates the fleet with explicit mechanism toggles (ablations).
     pub fn generate_with(&self, seed: u64, options: &SimOptions) -> GeneratedFleet {
+        let _span = hpcfail_obs::span("synth.generate");
+        hpcfail_obs::counter("synth.fleets_generated").inc();
         let mut trace = Trace::new();
         let max_days = self.systems.iter().map(|s| s.days).max().unwrap_or(0);
         {
@@ -461,6 +463,9 @@ fn simulate_system<R: Rng + ?Sized>(
         }
     }
 
+    hpcfail_obs::counter("synth.records.failure").add(failures.len() as u64);
+    hpcfail_obs::counter("synth.records.maintenance").add(maintenance.len() as u64);
+    hpcfail_obs::counter("synth.records.temperature").add(temperatures.len() as u64);
     for f in failures {
         builder.push_failure(f);
     }
@@ -471,6 +476,7 @@ fn simulate_system<R: Rng + ?Sized>(
         builder.push_temperature(t);
     }
     if let Some(w) = workload {
+        hpcfail_obs::counter("synth.records.job").add(w.jobs.len() as u64);
         for j in w.jobs {
             builder.push_job(j);
         }
@@ -802,14 +808,18 @@ mod tests {
         spec.systems = vec![crate::spec::SystemSpec::smp(18, 256, 1200)];
         // Frailty also creates (static) cross-type clustering, so turn
         // it off in both arms along with cluster events.
-        let mut on_options = SimOptions::default();
-        on_options.cluster_events = false;
-        on_options.frailty = false;
+        let on_options = SimOptions {
+            cluster_events: false,
+            frailty: false,
+            ..SimOptions::default()
+        };
         let on = spec.generate_with(5, &on_options);
-        let mut options = SimOptions::default();
-        options.cluster_events = false;
-        options.frailty = false;
-        options.excitation = ExcitationMatrix::disabled();
+        let options = SimOptions {
+            cluster_events: false,
+            frailty: false,
+            excitation: ExcitationMatrix::disabled(),
+            ..SimOptions::default()
+        };
         let off = spec.generate_with(5, &options);
         // Compare same-node *cross-root-cause* follow-ups within a
         // week: component re-arm (active in both arms) only repeats the

@@ -445,14 +445,16 @@ impl FleetSpec {
         for spec in &mut systems {
             match spec.id {
                 8 => {
-                    let mut w = WorkloadSpec::default();
-                    w.jobs_per_day = (763_293.0 / spec.days as f64).min(300.0);
-                    spec.workload = Some(w);
+                    spec.workload = Some(WorkloadSpec {
+                        jobs_per_day: (763_293.0 / spec.days as f64).min(300.0),
+                        ..WorkloadSpec::default()
+                    });
                 }
                 20 => {
-                    let mut w = WorkloadSpec::default();
-                    w.jobs_per_day = (477_206.0 / spec.days as f64).min(200.0);
-                    spec.workload = Some(w);
+                    spec.workload = Some(WorkloadSpec {
+                        jobs_per_day: (477_206.0 / spec.days as f64).min(200.0),
+                        ..WorkloadSpec::default()
+                    });
                     spec.temperature = Some(TemperatureSpec::default());
                 }
                 _ => {}

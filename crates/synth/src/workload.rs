@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn user_activity_is_skewed() {
         let w = generate(3);
-        let mut per_user = vec![0u32; 50];
+        let mut per_user = [0u32; 50];
         for j in &w.jobs {
             per_user[j.user.index()] += 1;
         }

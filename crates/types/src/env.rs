@@ -3,7 +3,6 @@
 
 use crate::ids::{NodeId, SystemId};
 use crate::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// One periodic motherboard-sensor temperature reading.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// sensor; Sections VIII and X regress outages on aggregates of these
 /// samples. The paper treats 40 °C as the severe-temperature warning
 /// threshold ([`TemperatureSample::HIGH_TEMP_THRESHOLD`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TemperatureSample {
     /// The system the sensor belongs to.
     pub system: SystemId,
@@ -39,7 +38,7 @@ impl TemperatureSample {
 ///
 /// The paper uses 1-minute counts from the Climax, Colorado station,
 /// aggregated to monthly averages in the 3400-4600 counts/min range.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NeutronSample {
     /// Sampling time.
     pub time: Timestamp,
@@ -52,7 +51,7 @@ pub struct NeutronSample {
 /// Section VII-A.2 observes that power problems sharply increase
 /// *unscheduled* hardware-related maintenance; this record captures the
 /// fields that analysis needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MaintenanceRecord {
     /// The system the node belongs to.
     pub system: SystemId,

@@ -12,7 +12,6 @@
 
 use crate::ids::{NodeId, SystemId};
 use crate::time::{Duration, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -41,7 +40,7 @@ impl fmt::Display for ParseCauseError {
 impl std::error::Error for ParseCauseError {}
 
 /// The six high-level root-cause categories used by LANL operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RootCause {
     /// Facility problems: power outages, power spikes, UPS and chiller
     /// failures, and other machine-room environment issues.
@@ -106,7 +105,7 @@ impl FromStr for RootCause {
 }
 
 /// The hardware component responsible for a hardware failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HardwareComponent {
     /// Processor faults (~40% of LANL hardware failures).
     Cpu,
@@ -189,7 +188,7 @@ impl FromStr for HardwareComponent {
 }
 
 /// The software subsystem responsible for a software failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SoftwareCause {
     /// Distributed storage system (DST).
     Dst,
@@ -252,7 +251,7 @@ impl FromStr for SoftwareCause {
 }
 
 /// The environmental problem behind an environment failure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EnvironmentCause {
     /// Complete loss of facility power.
     PowerOutage,
@@ -319,9 +318,10 @@ impl FromStr for EnvironmentCause {
 }
 
 /// The optional lower-level cause attached to a failure record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SubCause {
     /// No lower-level information recorded.
+    #[default]
     None,
     /// Hardware failure with a known component.
     Hardware(HardwareComponent),
@@ -356,12 +356,6 @@ impl SubCause {
     }
 }
 
-impl Default for SubCause {
-    fn default() -> Self {
-        SubCause::None
-    }
-}
-
 impl fmt::Display for SubCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
@@ -391,7 +385,7 @@ impl From<EnvironmentCause> for SubCause {
 /// Mirrors a row of the LANL failure logs: which node of which system went
 /// down, when, and why (at both taxonomy levels). The optional `downtime`
 /// records how long the node was unavailable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FailureRecord {
     /// The system the failed node belongs to.
     pub system: SystemId,
@@ -460,7 +454,7 @@ impl FailureRecord {
 /// assert!(FailureClass::Hw(HardwareComponent::MemoryDimm).matches(&mem));
 /// assert!(!FailureClass::Hw(HardwareComponent::Cpu).matches(&mem));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureClass {
     /// Matches every failure.
     Any,

@@ -4,7 +4,6 @@
 //! (C-NEWTYPE): a [`NodeId`] is an index *within one system*, a
 //! [`SystemId`] is the LANL-style system number, and so on.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
@@ -12,7 +11,6 @@ macro_rules! id_type {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
         )]
         pub struct $name($inner);
 

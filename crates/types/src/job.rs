@@ -7,10 +7,9 @@
 
 use crate::ids::{JobId, NodeId, SystemId, UserId};
 use crate::time::{Duration, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// One job from a system's usage log.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JobRecord {
     /// The system the job ran on.
     pub system: SystemId,

@@ -6,11 +6,10 @@
 //! position-in-rack is the `PIR` predictor of Table I.
 
 use crate::ids::{NodeId, RackId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The physical location of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeLocation {
     /// The rack the node is mounted in.
     pub rack: RackId,
@@ -41,7 +40,7 @@ pub struct NodeLocation {
 /// assert_eq!(layout.rack_of(NodeId::new(1)), Some(RackId::new(0)));
 /// assert_eq!(layout.rack_members(RackId::new(0)).len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineLayout {
     locations: BTreeMap<NodeId, NodeLocation>,
     racks: BTreeMap<RackId, Vec<NodeId>>,

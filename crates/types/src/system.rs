@@ -7,11 +7,10 @@
 
 use crate::ids::SystemId;
 use crate::time::{Duration, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The node hardware architecture of a system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HardwareClass {
     /// 4-way symmetric-multiprocessing nodes (group-1 systems).
     Smp4Way,
@@ -29,7 +28,7 @@ impl fmt::Display for HardwareClass {
 }
 
 /// The paper's two-way grouping of LANL systems by hardware architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SystemGroup {
     /// Seven SMP-based systems (LANL IDs 3, 4, 5, 6, 18, 19, 20).
     Group1,
@@ -65,7 +64,7 @@ impl fmt::Display for SystemGroup {
 }
 
 /// Static description of one system (cluster).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// LANL-style system number.
     pub id: SystemId,

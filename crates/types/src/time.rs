@@ -4,7 +4,6 @@
 //! start of the observation period. The paper's analyses condition on
 //! fixed-length [`Window`]s (day, week, month) following a trigger event.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::str::FromStr;
@@ -32,9 +31,7 @@ pub const SECONDS_PER_MONTH: i64 = 30 * SECONDS_PER_DAY;
 /// assert_eq!(t.as_days(), 2.5);
 /// assert_eq!(t.day_index(), 2);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp(i64);
 
 impl Timestamp {
@@ -128,9 +125,7 @@ impl fmt::Display for Timestamp {
 /// assert_eq!(Duration::from_days(1.0), Duration::from_hours(24.0));
 /// assert_eq!(Duration::from_days(2.0).as_days(), 2.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Duration(i64);
 
 impl Duration {
@@ -205,7 +200,7 @@ impl fmt::Display for Duration {
 /// assert_eq!("month".parse::<Window>()?, Window::Month);
 /// # Ok::<(), hpcfail_types::time::ParseWindowError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Window {
     /// One day (24 hours).
     Day,

