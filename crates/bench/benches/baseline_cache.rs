@@ -1,0 +1,90 @@
+//! Cold-build vs warm-hit benches for the store's timeline index,
+//! against the direct-scan `BaselineEstimator` as the reference point.
+//!
+//! Three measurements per baseline kind:
+//!
+//! - `*_direct_scan` — the pre-index path, re-deriving day vectors from
+//!   raw records on every call;
+//! - `*_cache_cold` — first query on a fresh index (clone of the trace,
+//!   whose index starts empty), paying the build;
+//! - `*_cache_warm` — repeat query on an already-built index, the
+//!   steady-state cost every later consumer pays.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hpcfail_store::query::BaselineEstimator;
+use hpcfail_store::trace::Trace;
+use hpcfail_synth::spec::FleetSpec;
+use hpcfail_types::prelude::*;
+
+fn bench_fleet() -> Trace {
+    FleetSpec::lanl_scaled(0.2).generate(42).into_store()
+}
+
+fn bench_failure_baseline(c: &mut Criterion) {
+    let trace = bench_fleet();
+    let system = trace.system(SystemId::new(18)).expect("system 18 exists");
+
+    c.bench_function("failure_baseline_direct_scan", |b| {
+        b.iter(|| {
+            BaselineEstimator::new(system).failure_probability(FailureClass::Any, Window::Week)
+        })
+    });
+    c.bench_function("failure_baseline_cache_cold", |b| {
+        // Cloning a SystemTrace yields a cold index, so every iteration
+        // pays the full build.
+        b.iter_batched(
+            || system.clone(),
+            |fresh| fresh.indexed_failure_baseline(FailureClass::Any, Window::Week),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("failure_baseline_cache_warm", |b| {
+        system.indexed_failure_baseline(FailureClass::Any, Window::Week);
+        b.iter(|| system.indexed_failure_baseline(FailureClass::Any, Window::Week))
+    });
+}
+
+fn bench_maintenance_baseline(c: &mut Criterion) {
+    let trace = bench_fleet();
+    let system = trace.system(SystemId::new(18)).expect("system 18 exists");
+
+    c.bench_function("maintenance_baseline_direct_scan", |b| {
+        b.iter(|| BaselineEstimator::new(system).maintenance_probability(Window::Month))
+    });
+    c.bench_function("maintenance_baseline_cache_cold", |b| {
+        b.iter_batched(
+            || system.clone(),
+            |fresh| fresh.indexed_maintenance_baseline(Window::Month),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("maintenance_baseline_cache_warm", |b| {
+        system.indexed_maintenance_baseline(Window::Month);
+        b.iter(|| system.indexed_maintenance_baseline(Window::Month))
+    });
+}
+
+fn bench_day_vectors(c: &mut Criterion) {
+    let trace = bench_fleet();
+    let system = trace.system(SystemId::new(18)).expect("system 18 exists");
+    let node = NodeId::new(0);
+
+    c.bench_function("failure_days_cache_cold", |b| {
+        b.iter_batched(
+            || system.clone(),
+            |fresh| fresh.indexed_failure_days(node, FailureClass::Any),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("failure_days_cache_warm", |b| {
+        system.indexed_failure_days(node, FailureClass::Any);
+        b.iter(|| system.indexed_failure_days(node, FailureClass::Any))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_failure_baseline, bench_maintenance_baseline, bench_day_vectors
+}
+criterion_main!(benches);

@@ -123,14 +123,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    for id in &ids {
+    // Experiments are pure functions of the read-only context, so they
+    // run concurrently; parallel_map returns results in input order and
+    // printing happens afterwards on this thread, keeping stdout
+    // byte-identical to the sequential loop.
+    let threads = hpcfail_core::parallel::default_threads();
+    let reports = hpcfail_core::parallel::parallel_map(&ids, threads, |id| {
         let e = experiment(id).expect("validated above");
-        let report = e.execute(&ctx);
+        (e, e.execute(&ctx))
+    });
+    for (e, report) in &reports {
         println!("==== {} ({}) ====", e.id, e.title);
         println!("{report}");
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.txt", e.id));
-            if let Err(err) = std::fs::write(&path, &report) {
+            if let Err(err) = std::fs::write(&path, report) {
                 eprintln!("cannot write {}: {err}", path.display());
                 return ExitCode::FAILURE;
             }

@@ -7,7 +7,6 @@
 
 use hpcfail_stats::htest::{chi_square_equal_proportions, TestResult};
 use hpcfail_stats::proportion::Proportion;
-use hpcfail_store::query::BaselineEstimator;
 use hpcfail_store::trace::{SystemTrace, Trace};
 use hpcfail_types::prelude::*;
 use std::collections::BTreeMap;
@@ -134,10 +133,20 @@ impl<'a> NodeAnalysis<'a> {
                 rest: Proportion::EMPTY,
             };
         };
-        let est = BaselineEstimator::new(s);
-        let own = est.node_failure_probability(node, class, window);
-        let rest_nodes: Vec<NodeId> = s.nodes().filter(|&n| n != node).collect();
-        let rest = est.subset_failure_probability(&rest_nodes, class, window);
+        let own = s.indexed_node_failure_baseline(node, class, window);
+        // Rest-of-system = memoized full baseline minus the node's own
+        // counts — an exact integer identity, so no per-node rescan.
+        // Guard the out-of-range case: a node outside the system
+        // contributes nothing, so "rest" is the full baseline.
+        let full = s.indexed_failure_baseline(class, window);
+        let rest = if node.raw() < s.config().nodes {
+            hpcfail_store::query::WindowCounts {
+                hits: full.hits - own.hits,
+                total: full.total - own.total,
+            }
+        } else {
+            full
+        };
         NodeVsRest {
             node: Proportion::new(own.hits, own.total),
             rest: Proportion::new(rest.hits, rest.total),

@@ -6,6 +6,10 @@
 //! Figure 1(b)/2(right) summary comparing, for each type X, the
 //! probability of an X failure after a same-type failure, after *any*
 //! failure, and in a random window.
+//!
+//! The full matrix asks for the same per-(target, window) baseline once
+//! per trigger type; those queries hit the store's memoized timeline
+//! index (`hpcfail_store::index`) rather than rescanning the trace.
 
 use crate::correlation::{CorrelationAnalysis, Scope};
 use crate::estimate::ConditionalEstimate;

@@ -8,7 +8,7 @@
 
 use crate::correlation::{CorrelationAnalysis, Scope};
 use crate::estimate::ConditionalEstimate;
-use hpcfail_store::query::{BaselineEstimator, WindowCounts};
+use hpcfail_store::query::WindowCounts;
 use hpcfail_store::trace::Trace;
 use hpcfail_types::prelude::*;
 use std::collections::BTreeMap;
@@ -223,7 +223,7 @@ impl<'a> PowerAnalysis<'a> {
             .trace
             .systems()
             .map(|system| {
-                let base = BaselineEstimator::new(system).maintenance_probability(Window::Month);
+                let base = system.indexed_maintenance_baseline(Window::Month);
                 let mut cond = WindowCounts::default();
                 for f in system.failures() {
                     if !class.matches(f) || !system.window_observed(f.time, Window::Month) {

@@ -123,6 +123,13 @@ impl AlarmRule {
             config.nodes as u64 * config.observation_span().as_seconds().max(0) as u64;
 
         for node in system.nodes() {
+            // A node with no failures raises no alarms, flags no time,
+            // and contributes nothing to recall — skip before
+            // collecting. On LANL-shaped traces most nodes are quiet
+            // most of the observation span.
+            if system.node_failure_count(node) == 0 {
+                continue;
+            }
             let failures: Vec<&FailureRecord> = system.node_failures(node).collect();
             // Flagged intervals from triggers (merged union for cost).
             let mut intervals: Vec<(i64, i64)> = Vec::new();

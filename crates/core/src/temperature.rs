@@ -5,11 +5,15 @@
 //! et al., SIGMETRICS 2012]) find *insignificant*; (b) the effect of
 //! fan and chiller failures, whose brief extreme-temperature periods
 //! sharply raise subsequent hardware failure rates (Figure 13).
+//!
+//! The conditionals in (b) route through [`CorrelationAnalysis`], whose
+//! baselines come from the store's memoized timeline index
+//! (`hpcfail_store::index`) — repeated (class, window) queries share one
+//! build.
 
 use crate::correlation::{CorrelationAnalysis, Scope};
 use crate::estimate::ConditionalEstimate;
 use hpcfail_stats::glm::{fit_negative_binomial, Family, GlmError, GlmFit, GlmModel};
-use hpcfail_store::features::compute_temperature;
 use hpcfail_store::trace::Trace;
 use hpcfail_types::prelude::*;
 
@@ -137,7 +141,9 @@ impl<'a> TemperatureAnalysis<'a> {
             .ok_or_else(|| GlmError::DimensionMismatch {
                 what: format!("unknown system {system}"),
             })?;
-        let aggregates = compute_temperature(s);
+        // Memoized in the trace's timeline index: each predictor/target
+        // regression reads the same per-node aggregates.
+        let aggregates = s.indexed_temperature();
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for node in s.nodes() {

@@ -6,7 +6,7 @@
 //! is mostly carried by the login node.
 
 use hpcfail_stats::corr::{pearson, spearman};
-use hpcfail_store::features::{compute_usage, NodeUsage};
+use hpcfail_store::features::NodeUsage;
 use hpcfail_store::trace::Trace;
 use hpcfail_types::prelude::*;
 
@@ -53,9 +53,11 @@ impl<'a> UsageAnalysis<'a> {
         if s.jobs().is_empty() {
             return Vec::new();
         }
-        let usage: Vec<NodeUsage> = compute_usage(s);
+        // Memoized in the trace's timeline index: the four Figure 7
+        // statistics all derive from this one job-log scan.
+        let usage: std::sync::Arc<Vec<NodeUsage>> = s.indexed_usage();
         usage
-            .into_iter()
+            .iter()
             .map(|u| UsagePoint {
                 node: u.node,
                 failures: s.node_failure_count(u.node) as u64,

@@ -80,6 +80,88 @@ fn arb_failures() -> impl Strategy<Value = Vec<(u32, i64, u8)>> {
     prop::collection::vec((0u32..NODES, 0i64..(DAYS as i64) * 86_400, 0u8..6), 0..60)
 }
 
+/// Like [`build_trace`] but with a two-nodes-per-rack layout, so the
+/// SameRack scope is exercisable.
+fn build_trace_with_racks(failures: &[(u32, i64, u8)]) -> Trace {
+    let config = SystemConfig {
+        id: SystemId::new(1),
+        name: "prop".into(),
+        nodes: NODES,
+        procs_per_node: 4,
+        hardware: HardwareClass::Smp4Way,
+        start: Timestamp::EPOCH,
+        end: Timestamp::from_days(DAYS),
+        has_layout: true,
+        has_job_log: false,
+        has_temperature: false,
+    };
+    let mut b = SystemTraceBuilder::new(config);
+    for &(node, sec, root) in failures {
+        b.push_failure(FailureRecord::new(
+            SystemId::new(1),
+            NodeId::new(node % NODES),
+            Timestamp::from_seconds(sec),
+            root_cause(root),
+            SubCause::None,
+        ));
+    }
+    let layout: MachineLayout = (0..NODES)
+        .map(|n| {
+            (
+                NodeId::new(n),
+                NodeLocation {
+                    rack: RackId::new((n / 2) as u16),
+                    position_in_rack: (n % 2 + 1) as u8,
+                    room_row: 0,
+                    room_col: (n / 2) as u16,
+                },
+            )
+        })
+        .collect();
+    b.layout(layout);
+    let mut trace = Trace::new();
+    trace.insert_system(b.build());
+    trace
+}
+
+/// Brute-force conditional for any scope: per-node membership probes,
+/// exactly mirroring the engine's pre-index per-node counting.
+fn oracle_scoped(
+    failures: &[(u32, i64, u8)],
+    trigger: RootCause,
+    target: RootCause,
+    window_secs: i64,
+    scope: Scope,
+) -> (u64, u64) {
+    let end = (DAYS * 86_400.0) as i64;
+    let target_hit = |n: u32, t: i64| {
+        failures.iter().any(|&(n2, t2, r2)| {
+            n2 % NODES == n && root_cause(r2) == target && t2 > t && t2 <= t + window_secs
+        })
+    };
+    let mut hits = 0;
+    let mut total = 0;
+    for &(node, t, root) in failures {
+        if root_cause(root) != trigger || t + window_secs > end || t < 0 {
+            continue;
+        }
+        let node = node % NODES;
+        let peers: Vec<u32> = match scope {
+            Scope::SameNode => vec![node],
+            // Two nodes per rack: the peer is the rack sibling.
+            Scope::SameRack => vec![node ^ 1],
+            Scope::SameSystem => (0..NODES).filter(|&n| n != node).collect(),
+        };
+        for peer in peers {
+            total += 1;
+            if target_hit(peer, t) {
+                hits += 1;
+            }
+        }
+    }
+    (hits, total)
+}
+
 proptest! {
     #[test]
     fn conditional_matches_oracle(failures in arb_failures(), trigger in 0u8..6) {
@@ -96,6 +178,56 @@ proptest! {
             let (hits, total) = oracle_same_node(&failures, root_cause(trigger), window.seconds());
             prop_assert_eq!(e.conditional.successes(), hits, "window {}", window);
             prop_assert_eq!(e.conditional.trials(), total, "window {}", window);
+        }
+    }
+
+    #[test]
+    fn conditional_matches_oracle_across_scopes(
+        failures in arb_failures(),
+        trigger in 0u8..6,
+        target in 0u8..6,
+    ) {
+        // Differential check of the indexed/sliding-window paths: every
+        // (window, scope) estimate — counts AND baseline — must equal
+        // the brute-force per-node probes the engine used pre-index.
+        let trace = build_trace_with_racks(&failures);
+        let analysis = CorrelationAnalysis::new(&trace);
+        let system = trace.system(SystemId::new(1)).expect("system 1");
+        let direct = hpcfail_store::query::BaselineEstimator::new(system);
+        for window in [Window::Day, Window::Week] {
+            for scope in [Scope::SameNode, Scope::SameRack, Scope::SameSystem] {
+                let e = analysis.system_conditional(
+                    SystemId::new(1),
+                    FailureClass::Root(root_cause(trigger)),
+                    FailureClass::Root(root_cause(target)),
+                    window,
+                    scope,
+                );
+                let (hits, total) = oracle_scoped(
+                    &failures,
+                    root_cause(trigger),
+                    root_cause(target),
+                    window.seconds(),
+                    scope,
+                );
+                prop_assert_eq!(
+                    e.conditional.successes(), hits,
+                    "hits, window {} scope {:?}", window, scope
+                );
+                prop_assert_eq!(
+                    e.conditional.trials(), total,
+                    "trials, window {} scope {:?}", window, scope
+                );
+                let base = direct.failure_probability(FailureClass::Root(root_cause(target)), window);
+                prop_assert_eq!(
+                    e.baseline.successes(), base.hits,
+                    "baseline hits, window {} scope {:?}", window, scope
+                );
+                prop_assert_eq!(
+                    e.baseline.trials(), base.total,
+                    "baseline trials, window {} scope {:?}", window, scope
+                );
+            }
         }
     }
 

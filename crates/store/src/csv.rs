@@ -24,6 +24,27 @@ use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// Expected header lines, shared by writers and readers. A reader
+/// skips line 1 only when it matches its header exactly; anything else
+/// is parsed as data, so a headerless export keeps its first record and
+/// a malformed header surfaces as a parse error at line 1.
+mod headers {
+    pub(super) const FAILURES: &str = "system,node,time,root_cause,sub_cause,downtime";
+    pub(super) const JOBS: &str = "system,job_id,user,submit,dispatch,end,procs,nodes";
+    pub(super) const TEMPERATURES: &str = "system,node,time,celsius";
+    pub(super) const MAINTENANCE: &str = "system,node,time,hardware_related,scheduled";
+    pub(super) const NEUTRON: &str = "time,counts_per_minute";
+    pub(super) const LAYOUT: &str = "system,node,rack,position_in_rack,room_row,room_col";
+    pub(super) const SYSTEMS: &str =
+        "id,name,nodes,procs_per_node,hardware,start,end,has_layout,has_job_log,has_temperature";
+}
+
+/// True for lines a reader should skip: blank lines anywhere, and the
+/// expected header on line 1 (`idx` is the 0-based line index).
+fn skip_line(line: &str, idx: usize, header: &str) -> bool {
+    line.is_empty() || (idx == 0 && line == header)
+}
+
 /// Errors from CSV reading or writing.
 #[derive(Debug)]
 pub enum CsvError {
@@ -143,7 +164,7 @@ fn parse_sub_cause(raw: &str, line: usize) -> Result<SubCause, CsvError> {
 ///
 /// Any I/O failure from the writer.
 pub fn write_failures<W: Write>(mut w: W, records: &[FailureRecord]) -> Result<(), CsvError> {
-    writeln!(w, "system,node,time,root_cause,sub_cause,downtime")?;
+    writeln!(w, "{}", headers::FAILURES)?;
     for r in records {
         writeln!(
             w,
@@ -169,7 +190,7 @@ pub fn read_failures<R: Read>(r: R) -> Result<Vec<FailureRecord>, CsvError> {
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() {
+        if skip_line(&line, idx, headers::FAILURES) {
             continue;
         }
         let lineno = idx + 1;
@@ -206,7 +227,7 @@ pub fn read_failures<R: Read>(r: R) -> Result<Vec<FailureRecord>, CsvError> {
 ///
 /// Any I/O failure from the writer.
 pub fn write_jobs<W: Write>(mut w: W, records: &[JobRecord]) -> Result<(), CsvError> {
-    writeln!(w, "system,job_id,user,submit,dispatch,end,procs,nodes")?;
+    writeln!(w, "{}", headers::JOBS)?;
     for j in records {
         let nodes: Vec<String> = j.nodes.iter().map(|n| n.raw().to_string()).collect();
         writeln!(
@@ -234,7 +255,7 @@ pub fn read_jobs<R: Read>(r: R) -> Result<Vec<JobRecord>, CsvError> {
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() {
+        if skip_line(&line, idx, headers::JOBS) {
             continue;
         }
         let lineno = idx + 1;
@@ -279,7 +300,7 @@ pub fn write_temperatures<W: Write>(
     mut w: W,
     samples: &[TemperatureSample],
 ) -> Result<(), CsvError> {
-    writeln!(w, "system,node,time,celsius")?;
+    writeln!(w, "{}", headers::TEMPERATURES)?;
     for s in samples {
         writeln!(
             w,
@@ -302,7 +323,7 @@ pub fn read_temperatures<R: Read>(r: R) -> Result<Vec<TemperatureSample>, CsvErr
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() {
+        if skip_line(&line, idx, headers::TEMPERATURES) {
             continue;
         }
         let mut f = Fields::new(&line, idx + 1, 4)?;
@@ -326,7 +347,7 @@ pub fn write_maintenance<W: Write>(
     mut w: W,
     records: &[MaintenanceRecord],
 ) -> Result<(), CsvError> {
-    writeln!(w, "system,node,time,hardware_related,scheduled")?;
+    writeln!(w, "{}", headers::MAINTENANCE)?;
     for m in records {
         writeln!(
             w,
@@ -350,7 +371,7 @@ pub fn read_maintenance<R: Read>(r: R) -> Result<Vec<MaintenanceRecord>, CsvErro
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() {
+        if skip_line(&line, idx, headers::MAINTENANCE) {
             continue;
         }
         let lineno = idx + 1;
@@ -378,7 +399,7 @@ pub fn read_maintenance<R: Read>(r: R) -> Result<Vec<MaintenanceRecord>, CsvErro
 ///
 /// Any I/O failure from the writer.
 pub fn write_neutron<W: Write>(mut w: W, samples: &[NeutronSample]) -> Result<(), CsvError> {
-    writeln!(w, "time,counts_per_minute")?;
+    writeln!(w, "{}", headers::NEUTRON)?;
     for s in samples {
         writeln!(w, "{},{}", s.time.as_seconds(), s.counts_per_minute)?;
     }
@@ -394,7 +415,7 @@ pub fn read_neutron<R: Read>(r: R) -> Result<Vec<NeutronSample>, CsvError> {
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() {
+        if skip_line(&line, idx, headers::NEUTRON) {
             continue;
         }
         let mut f = Fields::new(&line, idx + 1, 2)?;
@@ -417,7 +438,7 @@ pub fn write_layout<W: Write>(
     system: SystemId,
     layout: &MachineLayout,
 ) -> Result<(), CsvError> {
-    writeln!(w, "system,node,rack,position_in_rack,room_row,room_col")?;
+    writeln!(w, "{}", headers::LAYOUT)?;
     for (node, loc) in layout.iter() {
         writeln!(
             w,
@@ -443,7 +464,10 @@ pub fn read_layouts<R: Read>(r: R) -> Result<BTreeMap<SystemId, MachineLayout>, 
     let mut out: BTreeMap<SystemId, MachineLayout> = BTreeMap::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() || line.starts_with("system,") {
+        // Concatenated per-system sections repeat the header mid-file;
+        // skip it wherever it appears, but only on exact match so a
+        // data-bearing first line is never dropped.
+        if line.is_empty() || line == headers::LAYOUT {
             continue;
         }
         let mut f = Fields::new(&line, idx + 1, 6)?;
@@ -473,10 +497,7 @@ fn hardware_label(h: HardwareClass) -> &'static str {
 ///
 /// Any I/O failure from the writer.
 pub fn write_system_configs<W: Write>(mut w: W, configs: &[SystemConfig]) -> Result<(), CsvError> {
-    writeln!(
-        w,
-        "id,name,nodes,procs_per_node,hardware,start,end,has_layout,has_job_log,has_temperature"
-    )?;
+    writeln!(w, "{}", headers::SYSTEMS)?;
     for c in configs {
         writeln!(
             w,
@@ -505,7 +526,7 @@ pub fn read_system_configs<R: Read>(r: R) -> Result<Vec<SystemConfig>, CsvError>
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(r).lines().enumerate() {
         let line = line?;
-        if idx == 0 || line.is_empty() {
+        if skip_line(&line, idx, headers::SYSTEMS) {
             continue;
         }
         let lineno = idx + 1;
@@ -742,6 +763,76 @@ mod tests {
         write_failures(&mut buf, &records).unwrap();
         let parsed = read_failures(&buf[..]).unwrap();
         assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn headerless_file_keeps_first_record() {
+        // A file exported without a header must not lose its first row.
+        let records = sample_failures();
+        let mut buf = Vec::new();
+        write_failures(&mut buf, &records).unwrap();
+        let body = String::from_utf8(buf).unwrap();
+        let headerless = body.split_once('\n').unwrap().1;
+        assert_eq!(read_failures(headerless.as_bytes()).unwrap(), records);
+
+        let jobs = vec![JobRecord {
+            system: SystemId::new(8),
+            job_id: JobId::new(1),
+            user: UserId::new(2),
+            submit: Timestamp::from_seconds(10),
+            dispatch: Timestamp::from_seconds(20),
+            end: Timestamp::from_seconds(30),
+            procs: 4,
+            nodes: vec![NodeId::new(3)],
+        }];
+        let mut buf = Vec::new();
+        write_jobs(&mut buf, &jobs).unwrap();
+        let body = String::from_utf8(buf).unwrap();
+        let headerless = body.split_once('\n').unwrap().1;
+        assert_eq!(read_jobs(headerless.as_bytes()).unwrap(), jobs);
+    }
+
+    #[test]
+    fn malformed_header_is_a_parse_error_at_line_1() {
+        // Neither the expected header nor parseable data.
+        let csv = "node,system,time\n20,0,10,HW,-,\n";
+        let err = read_failures(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn foreign_header_is_rejected_not_skipped() {
+        // A jobs header atop failure data means a mixed-up export;
+        // surface it instead of silently dropping a line.
+        let csv = format!("{}\n20,0,10,HW,-,\n", super::headers::JOBS);
+        let err = read_failures(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn concatenated_layout_sections_parse() {
+        let place = |layout: &mut MachineLayout, n: u32| {
+            layout.place(
+                NodeId::new(n),
+                NodeLocation {
+                    rack: RackId::new(0),
+                    position_in_rack: (n + 1) as u8,
+                    room_row: 0,
+                    room_col: 0,
+                },
+            );
+        };
+        let mut a = MachineLayout::new();
+        place(&mut a, 0);
+        let mut b = MachineLayout::new();
+        place(&mut b, 1);
+        let mut buf = Vec::new();
+        write_layout(&mut buf, SystemId::new(1), &a).unwrap();
+        write_layout(&mut buf, SystemId::new(2), &b).unwrap();
+        let parsed = read_layouts(&buf[..]).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[&SystemId::new(1)], a);
+        assert_eq!(parsed[&SystemId::new(2)], b);
     }
 
     #[test]

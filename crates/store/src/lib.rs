@@ -8,6 +8,8 @@
 //!
 //! - [`trace`] — the store itself and its builder.
 //! - [`query`] — window queries and empirical baseline probabilities.
+//! - [`index`] — lazy, thread-safe per-system caches of day vectors and
+//!   memoized baselines (the `indexed_*` methods on `SystemTrace`).
 //! - [`features`] — derived per-node features (utilization, job counts,
 //!   temperature aggregates) feeding the paper's regressions.
 //! - [`csv`] — the toolkit's native CSV schema (ingest and export).
@@ -50,6 +52,7 @@
 
 pub mod csv;
 pub mod features;
+pub mod index;
 pub mod lanl;
 pub mod query;
 pub mod trace;

@@ -57,7 +57,7 @@ impl<'a> NodeEvents<'a> {
     pub fn failure_days(&self, node: NodeId, class: FailureClass) -> Vec<i64> {
         let start = self.system.config().start;
         let mut scanned = 0u64;
-        let mut days: Vec<i64> = self
+        let days: Vec<i64> = self
             .system
             .node_failures(node)
             .inspect(|_| scanned += 1)
@@ -65,8 +65,7 @@ impl<'a> NodeEvents<'a> {
             .map(|f| (f.time - start).as_seconds().div_euclid(SECONDS_PER_DAY))
             .collect();
         record_scan(scanned, days.len() as u64);
-        days.dedup();
-        days
+        sorted_unique_days(days)
     }
 
     /// Sorted, deduplicated day indices on which `node` had unscheduled
@@ -74,7 +73,7 @@ impl<'a> NodeEvents<'a> {
     pub fn unscheduled_hw_maintenance_days(&self, node: NodeId) -> Vec<i64> {
         let start = self.system.config().start;
         let mut scanned = 0u64;
-        let mut days: Vec<i64> = self
+        let days: Vec<i64> = self
             .system
             .node_maintenance(node)
             .inspect(|_| scanned += 1)
@@ -82,23 +81,51 @@ impl<'a> NodeEvents<'a> {
             .map(|m| (m.time - start).as_seconds().div_euclid(SECONDS_PER_DAY))
             .collect();
         record_scan(scanned, days.len() as u64);
-        days.sort_unstable();
-        days.dedup();
-        days
+        sorted_unique_days(days)
     }
+}
+
+/// Sorts and deduplicates a day vector, establishing the sorted-unique
+/// contract that [`covered_window_starts`] requires.
+///
+/// The per-node iterators of [`SystemTrace`] yield events in time order
+/// (the builder sorts by `(time, node)`), so the input is normally
+/// already sorted and the sort is a near-linear verification pass — but
+/// the contract must not depend on the iteration source.
+pub fn sorted_unique_days(mut days: Vec<i64>) -> Vec<i64> {
+    days.sort_unstable();
+    days.dedup();
+    days
+}
+
+/// Windows per node for a given observation length:
+/// `observation_days - window_days + 1`, clamped at zero.
+pub(crate) fn windows_per_node(observation_days: i64, window: Window) -> u64 {
+    (observation_days - window.days() + 1).max(0) as u64
 }
 
 /// Feeds one filtered scan into the observability registry:
 /// `store.rows_scanned` / `store.rows_matched` count rows, and
 /// `store.filter_hit_rate` tracks the running matched/scanned ratio.
+///
+/// The published ratio is derived from one consistently captured pair
+/// of totals (maintained under a lock), so concurrent scans can never
+/// publish a transient matched > scanned ratio.
 fn record_scan(scanned: u64, matched: u64) {
-    let scanned_total = hpcfail_obs::counter("store.rows_scanned");
-    let matched_total = hpcfail_obs::counter("store.rows_matched");
-    scanned_total.add(scanned);
-    matched_total.add(matched);
-    let s = scanned_total.get();
+    if !hpcfail_obs::ENABLED {
+        return;
+    }
+    hpcfail_obs::counter("store.rows_scanned").add(scanned);
+    hpcfail_obs::counter("store.rows_matched").add(matched);
+    static TOTALS: std::sync::Mutex<(u64, u64)> = std::sync::Mutex::new((0, 0));
+    let (s, m) = {
+        let mut totals = TOTALS.lock().expect("scan totals lock");
+        totals.0 += scanned;
+        totals.1 += matched;
+        *totals
+    };
     if s > 0 {
-        hpcfail_obs::gauge("store.filter_hit_rate").set(matched_total.get() as f64 / s as f64);
+        hpcfail_obs::gauge("store.filter_hit_rate").set(m as f64 / s as f64);
     }
 }
 
@@ -153,8 +180,7 @@ impl<'a> BaselineEstimator<'a> {
     /// Windows per node: `observation_days - window_days + 1`, clamped
     /// at zero.
     fn windows_per_node(&self, window: Window) -> u64 {
-        let d = self.system.config().observation_days();
-        (d - window.days() + 1).max(0) as u64
+        windows_per_node(self.system.config().observation_days(), window)
     }
 
     /// The probability that a random node has at least one failure of
@@ -368,6 +394,47 @@ mod tests {
         let t = b.build();
         let counts = BaselineEstimator::new(&t).maintenance_probability(Window::Day);
         assert_eq!(counts.hits, 1); // only the hardware-related one
+    }
+
+    #[test]
+    fn sorted_unique_days_handles_out_of_order_input() {
+        // Out-of-order iteration with duplicates — the shape a non-builder
+        // source (or a future index change) could feed the day pipeline.
+        assert_eq!(
+            sorted_unique_days(vec![9, 3, 3, 7, 1, 9, 1]),
+            vec![1, 3, 7, 9]
+        );
+        assert_eq!(sorted_unique_days(Vec::new()), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn failure_days_sorted_unique_from_out_of_order_pushes() {
+        // Records pushed far out of time order; both day paths must come
+        // back sorted and deduplicated regardless.
+        let mut b = SystemTraceBuilder::new(config(1, 100.0));
+        for day in [50.2, 10.0, 50.8, 30.0, 10.5] {
+            b.push_failure(failure(0, day));
+        }
+        b.push_maintenance(MaintenanceRecord {
+            system: SystemId::new(1),
+            node: NodeId::new(0),
+            time: Timestamp::from_days(40.0),
+            hardware_related: true,
+            scheduled: false,
+        });
+        b.push_maintenance(MaintenanceRecord {
+            system: SystemId::new(1),
+            node: NodeId::new(0),
+            time: Timestamp::from_days(20.0),
+            hardware_related: true,
+            scheduled: false,
+        });
+        let t = b.build();
+        let events = NodeEvents::new(&t);
+        let days = events.failure_days(NodeId::new(0), FailureClass::Any);
+        assert_eq!(days, vec![10, 30, 50]);
+        let maint = events.unscheduled_hw_maintenance_days(NodeId::new(0));
+        assert_eq!(maint, vec![20, 40]);
     }
 
     #[test]

@@ -109,6 +109,7 @@ impl SystemTraceBuilder {
             maintenance,
             node_maintenance,
             layout,
+            index: crate::index::TimelineIndex::new(),
         }
     }
 }
@@ -127,6 +128,9 @@ pub struct SystemTrace {
     maintenance: Vec<MaintenanceRecord>,
     node_maintenance: Vec<Vec<u32>>,
     layout: Option<MachineLayout>,
+    /// Lazy caches of day vectors and pooled baselines; see
+    /// [`crate::index`]. Cloning yields a cold index.
+    pub(crate) index: crate::index::TimelineIndex,
 }
 
 impl SystemTrace {

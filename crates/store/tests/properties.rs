@@ -4,7 +4,7 @@
 
 use hpcfail_store::csv;
 use hpcfail_store::features::compute_usage;
-use hpcfail_store::query::{covered_window_starts, BaselineEstimator};
+use hpcfail_store::query::{covered_window_starts, BaselineEstimator, NodeEvents};
 use hpcfail_store::trace::SystemTraceBuilder;
 use hpcfail_types::prelude::*;
 use proptest::prelude::*;
@@ -112,6 +112,80 @@ proptest! {
         let slow_count =
             failures.iter().filter(|&&(sec, _)| sec > after && sec <= after + span).count();
         prop_assert_eq!(fast_count, slow_count);
+    }
+
+    #[test]
+    fn indexed_paths_match_direct_scan(
+        failures in prop::collection::vec((0u32..5, 0i64..100 * 86_400, 0u8..6), 0..60),
+        maintenance in prop::collection::vec((0u32..5, 0i64..100 * 86_400, 0u8..2), 0..20),
+    ) {
+        let mut b = SystemTraceBuilder::new(config(5, 100));
+        for &(node, sec, root) in &failures {
+            b.push_failure(FailureRecord::new(
+                SystemId::new(1),
+                NodeId::new(node),
+                Timestamp::from_seconds(sec),
+                root_cause(root),
+                SubCause::None,
+            ));
+        }
+        for &(node, sec, scheduled) in &maintenance {
+            b.push_maintenance(MaintenanceRecord {
+                system: SystemId::new(1),
+                node: NodeId::new(node),
+                time: Timestamp::from_seconds(sec),
+                hardware_related: true,
+                scheduled: scheduled == 1,
+            });
+        }
+        let t = b.build();
+        let est = BaselineEstimator::new(&t);
+        let events = NodeEvents::new(&t);
+        let classes = [
+            FailureClass::Any,
+            FailureClass::Root(RootCause::Hardware),
+            FailureClass::Root(RootCause::Software),
+            FailureClass::Root(RootCause::Environment),
+        ];
+        for class in classes {
+            for window in Window::ALL {
+                prop_assert_eq!(
+                    t.indexed_failure_baseline(class, window),
+                    est.failure_probability(class, window),
+                    "baseline mismatch for {:?} {:?}", class, window
+                );
+                for node in t.nodes() {
+                    prop_assert_eq!(
+                        t.indexed_node_failure_baseline(node, class, window),
+                        est.node_failure_probability(node, class, window),
+                        "node baseline mismatch for {:?} {:?} {:?}", node, class, window
+                    );
+                }
+            }
+            for node in t.nodes() {
+                let indexed = t.indexed_failure_days(node, class);
+                let direct = events.failure_days(node, class);
+                prop_assert_eq!(
+                    indexed.as_slice(), direct.as_slice(),
+                    "day vector mismatch for {:?} {:?}", node, class
+                );
+            }
+        }
+        for window in Window::ALL {
+            prop_assert_eq!(
+                t.indexed_maintenance_baseline(window),
+                est.maintenance_probability(window),
+                "maintenance baseline mismatch for {:?}", window
+            );
+        }
+        for node in t.nodes() {
+            let indexed = t.indexed_maintenance_days(node);
+            let direct = events.unscheduled_hw_maintenance_days(node);
+            prop_assert_eq!(
+                indexed.as_slice(), direct.as_slice(),
+                "maintenance days mismatch for {:?}", node
+            );
+        }
     }
 
     #[test]
