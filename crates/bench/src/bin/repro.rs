@@ -8,26 +8,47 @@
 //! every experiment run inside spans, and the run ends with a summary
 //! table on stderr (suppressed by `--quiet`) and, under `--manifest`, a
 //! machine-readable JSON run manifest.
+//!
+//! The harness degrades gracefully: experiments whose required data
+//! channels are missing are skipped, a panicking experiment is caught
+//! and reported (counter `repro.failed.<id>`) while the rest keep
+//! running, and `--trace DIR --policy lenient` loads dirty CSV input
+//! with per-line quarantine instead of aborting.
+//!
+//! Exit codes: `0` clean, `1` fatal (bad arguments, unreadable trace,
+//! write failure), `2` degraded (at least one failed experiment or
+//! quarantined input line — results were produced but are incomplete).
 
-use hpcfail_bench::{experiment, ReproContext, EXPERIMENTS};
+use hpcfail_bench::{experiment, ExperimentOutcome, ReproContext, EXPERIMENTS};
 use hpcfail_obs::manifest::{git_describe, ManifestSink};
 use hpcfail_obs::sink::Sink;
 use hpcfail_report::obs_sink::TableSink;
+use hpcfail_store::ingest::{load_trace_with, IngestPolicy, IngestReport};
 use std::process::ExitCode;
 
 fn usage() -> String {
     let mut out = String::from(
         "usage: repro [options] <experiment>... | all\n\n\
          Regenerates the tables and figures of El-Sayed & Schroeder (DSN 2013)\n\
-         against a synthetic LANL-like fleet.\n\n\
+         against a synthetic LANL-like fleet, or against a trace directory.\n\n\
          options:\n\
            --scale S        fleet scale in (0, 1], default 1.0 (full LANL size)\n\
            --seed N         generation seed, default 42\n\
+           --trace DIR      load the trace from DIR (CSV layout written by\n\
+                            save_trace) instead of generating a fleet\n\
+           --policy P       ingestion policy for --trace: strict (default),\n\
+                            lenient, or best-effort\n\
+           --inject-failure ID  make experiment ID fail (degradation testing)\n\
            --out DIR        also write each report to DIR/<id>.txt\n\
            --manifest PATH  write a JSON run manifest (seed, scale, build,\n\
                             per-span timings, counters) to PATH\n\
            --quiet          suppress progress and the metrics summary on stderr\n\
            --list           list experiments and exit\n\n\
+         exit codes:\n\
+           0  clean run\n\
+           1  fatal error (bad arguments, unreadable trace, write failure)\n\
+           2  degraded run (failed experiments and/or quarantined input lines;\n\
+              a summary is printed to stderr)\n\n\
          experiments:\n",
     );
     for e in EXPERIMENTS {
@@ -42,6 +63,9 @@ fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut manifest_path: Option<std::path::PathBuf> = None;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut policy = IngestPolicy::Strict;
+    let mut inject_failure: Option<String> = None;
     let mut quiet = false;
     let mut ids: Vec<String> = Vec::new();
     let mut iter = args.iter();
@@ -58,6 +82,31 @@ fn main() -> ExitCode {
                 Some(path) => manifest_path = Some(path.into()),
                 None => {
                     eprintln!("--manifest needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match iter.next() {
+                Some(dir) => trace_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--trace needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match iter.next().map(|v| v.parse()) {
+                Some(Ok(p)) => policy = p,
+                Some(Err(err)) => {
+                    eprintln!("{err}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("--policy needs a value (strict, lenient, best-effort)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--inject-failure" => match iter.next() {
+                Some(id) => inject_failure = Some(id.clone()),
+                None => {
+                    eprintln!("--inject-failure needs an experiment id");
                     return ExitCode::FAILURE;
                 }
             },
@@ -101,20 +150,48 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-
-    if !quiet {
-        eprintln!("generating fleet (scale {scale}, seed {seed})...");
+    if let Some(id) = &inject_failure {
+        if experiment(id).is_none() {
+            eprintln!("--inject-failure: unknown experiment {id:?}; try --list");
+            return ExitCode::FAILURE;
+        }
     }
-    let ctx = {
+
+    let mut ingest_report: Option<IngestReport> = None;
+    let ctx = if let Some(dir) = &trace_dir {
+        if !quiet {
+            eprintln!("loading trace from {} ({policy} policy)...", dir.display());
+        }
+        let loaded = {
+            let _span = hpcfail_obs::span("repro.load");
+            load_trace_with(dir, policy)
+        };
+        match loaded {
+            Ok((trace, report)) => {
+                ingest_report = Some(report);
+                ReproContext::from_trace(trace, seed, scale)
+            }
+            Err(err) => {
+                eprintln!("cannot load trace from {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        if !quiet {
+            eprintln!("generating fleet (scale {scale}, seed {seed})...");
+        }
         let _span = hpcfail_obs::span("repro.generate");
         ReproContext::generate(scale, seed)
     };
     if !quiet {
         eprintln!(
-            "generated {} failures across {} systems\n",
+            "loaded {} failures across {} systems\n",
             ctx.trace().total_failures(),
             ctx.trace().len(),
         );
+        if let Some(report) = &ingest_report {
+            eprintln!("{}", hpcfail_report::quality::render_ingest_report(report));
+        }
     }
 
     if let Some(dir) = &out_dir {
@@ -128,16 +205,38 @@ fn main() -> ExitCode {
     // printing happens afterwards on this thread, keeping stdout
     // byte-identical to the sequential loop.
     let threads = hpcfail_core::parallel::default_threads();
+    let inject = inject_failure.as_deref();
+    // A panicking experiment is caught and rendered as FAILED; silence
+    // the default hook so the raw panic message and backtrace don't
+    // interleave with other experiments' progress on stderr.
+    std::panic::set_hook(Box::new(|_| {}));
     let reports = hpcfail_core::parallel::parallel_map(&ids, threads, |id| {
         let e = experiment(id).expect("validated above");
-        (e, e.execute(&ctx))
+        (e, e.execute_opts(&ctx, inject == Some(e.id)))
     });
-    for (e, report) in &reports {
+    let _ = std::panic::take_hook();
+    let mut failed: Vec<&str> = Vec::new();
+    let mut skipped = 0usize;
+    for (e, outcome) in &reports {
+        let body = match outcome {
+            ExperimentOutcome::Report(text) => text.clone(),
+            ExperimentOutcome::Skipped { missing } => {
+                skipped += 1;
+                format!(
+                    "SKIPPED: trace lacks required channels: {}",
+                    missing.join(", ")
+                )
+            }
+            ExperimentOutcome::Failed { message } => {
+                failed.push(e.id);
+                format!("FAILED: {message}")
+            }
+        };
         println!("==== {} ({}) ====", e.id, e.title);
-        println!("{report}");
+        println!("{body}");
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.txt", e.id));
-            if let Err(err) = std::fs::write(&path, report) {
+            if let Err(err) = std::fs::write(&path, &body) {
                 eprintln!("cannot write {}: {err}", path.display());
                 return ExitCode::FAILURE;
             }
@@ -159,6 +258,23 @@ fn main() -> ExitCode {
         if !quiet {
             eprintln!("wrote run manifest to {}", path.display());
         }
+    }
+
+    let quarantined = ingest_report.as_ref().map_or(0, |r| r.quarantined.len());
+    if !failed.is_empty() || quarantined > 0 {
+        eprintln!(
+            "degraded run: {} failed experiment(s){}{}, {} skipped, {} quarantined input line(s)",
+            failed.len(),
+            if failed.is_empty() { "" } else { " " },
+            if failed.is_empty() {
+                String::new()
+            } else {
+                format!("[{}]", failed.join(", "))
+            },
+            skipped,
+            quarantined,
+        );
+        return ExitCode::from(2);
     }
     ExitCode::SUCCESS
 }

@@ -164,16 +164,20 @@ pub(crate) fn fig4(ctx: &ReproContext) -> String {
         }
         let total: u64 = counts.iter().sum();
         let avg = total as f64 / counts.len() as f64;
-        let top = analysis
-            .most_failure_prone(system)
-            .expect("non-empty system");
+        let Some(top) = analysis.most_failure_prone(system) else {
+            out.push_str(&format!("system {id}: no failures recorded, skipped\n"));
+            continue;
+        };
         let top_count = counts[top.index()];
-        let all = analysis
-            .equal_rates_test(system, FailureClass::Any, &[])
-            .expect(">=2 nodes");
-        let rest = analysis
-            .equal_rates_test(system, FailureClass::Any, &[top])
-            .expect(">=2 nodes");
+        let (Some(all), Some(rest)) = (
+            analysis.equal_rates_test(system, FailureClass::Any, &[]),
+            analysis.equal_rates_test(system, FailureClass::Any, &[top]),
+        ) else {
+            out.push_str(&format!(
+                "system {id}: too few nodes for the equal-rates test, skipped\n"
+            ));
+            continue;
+        };
         out.push_str(&format!(
             "system {id}: {} nodes, {total} failures; max = {top} with {top_count} \
              ({:.1}x the average {avg:.1})\n  equal-rates chi-square: p {} {} | \

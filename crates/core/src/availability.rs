@@ -35,7 +35,7 @@ impl AvailabilityReport {
     pub fn costliest_root_cause(&self) -> Option<RootCause> {
         self.downtime_by_root
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("downtimes are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&root, _)| root)
     }
 

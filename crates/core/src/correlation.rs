@@ -277,7 +277,7 @@ fn conditional_for_system(
                 }
             }
             Scope::SameRack => {
-                let layout = layout.expect("checked above");
+                let Some(layout) = layout else { continue };
                 for peer in layout.rack_neighbors(f.node) {
                     cond.total += 1;
                     if system.node_has_failure_in(peer, target, f.time, until) {

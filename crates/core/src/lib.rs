@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod availability;
+pub mod channels;
 pub mod checkpoint;
 pub mod correlation;
 pub mod cosmic;
@@ -47,6 +48,7 @@ pub mod users;
 /// The most frequently used items.
 pub mod prelude {
     pub use crate::availability::AvailabilityAnalysis;
+    pub use crate::channels::{missing_channels, Channel};
     pub use crate::checkpoint::{CheckpointPolicy, CheckpointSimulator};
     pub use crate::correlation::{CorrelationAnalysis, Scope};
     pub use crate::cosmic::CosmicAnalysis;

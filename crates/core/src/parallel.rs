@@ -75,11 +75,18 @@ where
                         }
                         let out = f(&items[i]);
                         claimed += 1;
-                        *results[i].lock().expect("result slot lock") = Some(out);
+                        // Slots hold finished values only; recover from
+                        // poisoning (another worker's panic) instead of
+                        // compounding it.
+                        *results[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
                     }
                     items_counter.add(claimed);
                     worker_items.record(claimed);
-                    *busy_cell.lock().expect("busy cell lock") =
+                    *busy_cell
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) =
                         started.elapsed().as_nanos() as u64;
                 })
             })
@@ -103,7 +110,9 @@ where
     let busy_hist = hpcfail_obs::histogram("core.parallel.worker_busy_ns");
     let idle_hist = hpcfail_obs::histogram("core.parallel.worker_idle_ns");
     for cell in &busy_ns {
-        let busy = *cell.lock().expect("busy cell lock");
+        let busy = *cell
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         busy_hist.record(busy);
         idle_hist.record(wall_ns.saturating_sub(busy));
     }
@@ -112,7 +121,7 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .expect("every slot filled")
         })
         .collect()

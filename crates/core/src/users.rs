@@ -79,11 +79,7 @@ impl<'a> UserAnalysis<'a> {
     /// paper's "50 heaviest users".
     pub fn heaviest_users(&self, system: SystemId, k: usize) -> Vec<UserStat> {
         let mut stats = self.user_stats(system);
-        stats.sort_by(|a, b| {
-            b.processor_days
-                .partial_cmp(&a.processor_days)
-                .expect("processor-days are finite")
-        });
+        stats.sort_by(|a, b| b.processor_days.total_cmp(&a.processor_days));
         stats.truncate(k);
         stats
     }

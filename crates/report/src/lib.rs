@@ -3,7 +3,8 @@
 //! The reproduction harness prints every paper table and figure as
 //! text: aligned tables ([`table`]), horizontal bar charts and scatter
 //! grids ([`chart`]), and pre-built renderers for the common analysis
-//! outputs ([`figures`]). Number formatting lives in [`fmt`].
+//! outputs ([`figures`]). Number formatting lives in [`fmt`], and
+//! ingestion/data-quality summaries in [`quality`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,11 +13,13 @@ pub mod chart;
 pub mod figures;
 pub mod fmt;
 pub mod obs_sink;
+pub mod quality;
 pub mod table;
 
 /// The most frequently used items.
 pub mod prelude {
     pub use crate::chart::{BarChart, ScatterPlot};
     pub use crate::figures::{render_conditional_bars, render_glm_table};
+    pub use crate::quality::render_ingest_report;
     pub use crate::table::Table;
 }

@@ -17,7 +17,7 @@
 //! Sub-causes are namespaced (`HW:CPU`, `SW:DST`, `ENV:UPS`, `-`).
 //! All timestamps are integer seconds since the trace epoch.
 
-use crate::trace::{SystemTrace, SystemTraceBuilder, Trace};
+use crate::trace::{SystemTrace, Trace};
 use hpcfail_types::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -28,14 +28,21 @@ use std::path::Path;
 /// skips line 1 only when it matches its header exactly; anything else
 /// is parsed as data, so a headerless export keeps its first record and
 /// a malformed header surfaces as a parse error at line 1.
-mod headers {
-    pub(super) const FAILURES: &str = "system,node,time,root_cause,sub_cause,downtime";
-    pub(super) const JOBS: &str = "system,job_id,user,submit,dispatch,end,procs,nodes";
-    pub(super) const TEMPERATURES: &str = "system,node,time,celsius";
-    pub(super) const MAINTENANCE: &str = "system,node,time,hardware_related,scheduled";
-    pub(super) const NEUTRON: &str = "time,counts_per_minute";
-    pub(super) const LAYOUT: &str = "system,node,rack,position_in_rack,room_row,room_col";
-    pub(super) const SYSTEMS: &str =
+pub mod headers {
+    /// `failures.csv` header.
+    pub const FAILURES: &str = "system,node,time,root_cause,sub_cause,downtime";
+    /// `jobs.csv` header.
+    pub const JOBS: &str = "system,job_id,user,submit,dispatch,end,procs,nodes";
+    /// `temperatures.csv` header.
+    pub const TEMPERATURES: &str = "system,node,time,celsius";
+    /// `maintenance.csv` header.
+    pub const MAINTENANCE: &str = "system,node,time,hardware_related,scheduled";
+    /// `neutron.csv` header.
+    pub const NEUTRON: &str = "time,counts_per_minute";
+    /// `layout.csv` header (repeated mid-file for concatenated systems).
+    pub const LAYOUT: &str = "system,node,rack,position_in_rack,room_row,room_col";
+    /// `systems.csv` header.
+    pub const SYSTEMS: &str =
         "id,name,nodes,procs_per_node,hardware,start,end,has_layout,has_job_log,has_temperature";
 }
 
@@ -57,6 +64,29 @@ pub enum CsvError {
         /// What went wrong.
         message: String,
     },
+    /// An error with the source file attached, so a "line 12" from a
+    /// directory load says which of the CSVs it came from.
+    InFile {
+        /// File name (or path) the error came from.
+        file: String,
+        /// The underlying error.
+        source: Box<CsvError>,
+    },
+}
+
+impl CsvError {
+    /// Attaches a file name to this error. Wrapping an already
+    /// file-qualified error keeps the innermost (most specific) file.
+    #[must_use]
+    pub fn in_file(self, file: impl Into<String>) -> CsvError {
+        match self {
+            CsvError::InFile { .. } => self,
+            other => CsvError::InFile {
+                file: file.into(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for CsvError {
@@ -64,6 +94,7 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "i/o error: {e}"),
             CsvError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            CsvError::InFile { file, source } => write!(f, "{file}: {source}"),
         }
     }
 }
@@ -73,6 +104,7 @@ impl std::error::Error for CsvError {
         match self {
             CsvError::Io(e) => Some(e),
             CsvError::Parse { .. } => None,
+            CsvError::InFile { source, .. } => Some(source),
         }
     }
 }
@@ -181,6 +213,62 @@ pub fn write_failures<W: Write>(mut w: W, records: &[FailureRecord]) -> Result<(
     Ok(())
 }
 
+/// Parses one `failures.csv` data line. Under `relaxed` (the
+/// best-effort ingestion policy) recoverable fields fall back to the
+/// paper's "Unknown" conventions instead of failing the line — a bad
+/// root cause becomes [`RootCause::Undetermined`], a bad or
+/// inconsistent sub-cause becomes [`SubCause::None`], and a bad
+/// downtime is dropped — returning how many fields were defaulted.
+/// Identity fields (system, node, time, field count) always error.
+pub(crate) fn parse_failure_line(
+    line: &str,
+    lineno: usize,
+    relaxed: bool,
+) -> Result<(FailureRecord, u32), CsvError> {
+    let mut defaulted = 0u32;
+    let mut f = Fields::new(line, lineno, 6)?;
+    let system = SystemId::new(f.next("system id")?);
+    let node = NodeId::new(f.next("node id")?);
+    let time = Timestamp::from_seconds(f.next("time")?);
+    let root: RootCause = match f.next("root cause") {
+        Ok(root) => root,
+        Err(_) if relaxed => {
+            defaulted += 1;
+            RootCause::Undetermined
+        }
+        Err(e) => return Err(e),
+    };
+    let sub = match parse_sub_cause(f.next_str(), lineno) {
+        Ok(sub) if sub.consistent_with(root) => sub,
+        Ok(sub) if !relaxed => {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("sub-cause {sub} inconsistent with root cause {root}"),
+            })
+        }
+        Err(e) if !relaxed => return Err(e),
+        _ => {
+            defaulted += 1;
+            SubCause::None
+        }
+    };
+    let downtime_raw = f.next_str();
+    let mut record = FailureRecord::new(system, node, time, root, sub);
+    if !downtime_raw.is_empty() {
+        match downtime_raw.parse::<i64>() {
+            Ok(secs) => record = record.with_downtime(Duration::from_seconds(secs)),
+            Err(_) if relaxed => defaulted += 1,
+            Err(e) => {
+                return Err(CsvError::Parse {
+                    line: lineno,
+                    message: format!("bad downtime {downtime_raw:?}: {e}"),
+                })
+            }
+        }
+    }
+    Ok((record, defaulted))
+}
+
 /// Reads failure records written by [`write_failures`].
 ///
 /// # Errors
@@ -193,28 +281,7 @@ pub fn read_failures<R: Read>(r: R) -> Result<Vec<FailureRecord>, CsvError> {
         if skip_line(&line, idx, headers::FAILURES) {
             continue;
         }
-        let lineno = idx + 1;
-        let mut f = Fields::new(&line, lineno, 6)?;
-        let system = SystemId::new(f.next("system id")?);
-        let node = NodeId::new(f.next("node id")?);
-        let time = Timestamp::from_seconds(f.next("time")?);
-        let root: RootCause = f.next("root cause")?;
-        let sub = parse_sub_cause(f.next_str(), lineno)?;
-        if !sub.consistent_with(root) {
-            return Err(CsvError::Parse {
-                line: lineno,
-                message: format!("sub-cause {sub} inconsistent with root cause {root}"),
-            });
-        }
-        let downtime_raw = f.next_str();
-        let mut record = FailureRecord::new(system, node, time, root, sub);
-        if !downtime_raw.is_empty() {
-            let secs: i64 = downtime_raw.parse().map_err(|e| CsvError::Parse {
-                line: lineno,
-                message: format!("bad downtime {downtime_raw:?}: {e}"),
-            })?;
-            record = record.with_downtime(Duration::from_seconds(secs));
-        }
+        let (record, _) = parse_failure_line(&line, idx + 1, false)?;
         out.push(record);
     }
     hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
@@ -258,37 +325,41 @@ pub fn read_jobs<R: Read>(r: R) -> Result<Vec<JobRecord>, CsvError> {
         if skip_line(&line, idx, headers::JOBS) {
             continue;
         }
-        let lineno = idx + 1;
-        let mut f = Fields::new(&line, lineno, 8)?;
-        let system = SystemId::new(f.next("system id")?);
-        let job_id = JobId::new(f.next("job id")?);
-        let user = UserId::new(f.next("user id")?);
-        let submit = Timestamp::from_seconds(f.next("submit")?);
-        let dispatch = Timestamp::from_seconds(f.next("dispatch")?);
-        let end = Timestamp::from_seconds(f.next("end")?);
-        let procs = f.next("procs")?;
-        let nodes_raw = f.next_str();
-        let mut nodes = Vec::new();
-        for part in nodes_raw.split(';').filter(|p| !p.is_empty()) {
-            let raw: u32 = part.parse().map_err(|e| CsvError::Parse {
-                line: lineno,
-                message: format!("bad node id {part:?}: {e}"),
-            })?;
-            nodes.push(NodeId::new(raw));
-        }
-        out.push(JobRecord {
-            system,
-            job_id,
-            user,
-            submit,
-            dispatch,
-            end,
-            procs,
-            nodes,
-        });
+        out.push(parse_job_line(&line, idx + 1)?);
     }
     hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
+}
+
+/// Parses one `jobs.csv` data line.
+pub(crate) fn parse_job_line(line: &str, lineno: usize) -> Result<JobRecord, CsvError> {
+    let mut f = Fields::new(line, lineno, 8)?;
+    let system = SystemId::new(f.next("system id")?);
+    let job_id = JobId::new(f.next("job id")?);
+    let user = UserId::new(f.next("user id")?);
+    let submit = Timestamp::from_seconds(f.next("submit")?);
+    let dispatch = Timestamp::from_seconds(f.next("dispatch")?);
+    let end = Timestamp::from_seconds(f.next("end")?);
+    let procs = f.next("procs")?;
+    let nodes_raw = f.next_str();
+    let mut nodes = Vec::new();
+    for part in nodes_raw.split(';').filter(|p| !p.is_empty()) {
+        let raw: u32 = part.parse().map_err(|e| CsvError::Parse {
+            line: lineno,
+            message: format!("bad node id {part:?}: {e}"),
+        })?;
+        nodes.push(NodeId::new(raw));
+    }
+    Ok(JobRecord {
+        system,
+        job_id,
+        user,
+        submit,
+        dispatch,
+        end,
+        procs,
+        nodes,
+    })
 }
 
 /// Writes temperature samples.
@@ -326,16 +397,24 @@ pub fn read_temperatures<R: Read>(r: R) -> Result<Vec<TemperatureSample>, CsvErr
         if skip_line(&line, idx, headers::TEMPERATURES) {
             continue;
         }
-        let mut f = Fields::new(&line, idx + 1, 4)?;
-        out.push(TemperatureSample {
-            system: SystemId::new(f.next("system id")?),
-            node: NodeId::new(f.next("node id")?),
-            time: Timestamp::from_seconds(f.next("time")?),
-            celsius: f.next("temperature")?,
-        });
+        out.push(parse_temperature_line(&line, idx + 1)?);
     }
     hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
+}
+
+/// Parses one `temperatures.csv` data line.
+pub(crate) fn parse_temperature_line(
+    line: &str,
+    lineno: usize,
+) -> Result<TemperatureSample, CsvError> {
+    let mut f = Fields::new(line, lineno, 4)?;
+    Ok(TemperatureSample {
+        system: SystemId::new(f.next("system id")?),
+        node: NodeId::new(f.next("node id")?),
+        time: Timestamp::from_seconds(f.next("time")?),
+        celsius: f.next("temperature")?,
+    })
 }
 
 /// Writes maintenance records.
@@ -374,23 +453,30 @@ pub fn read_maintenance<R: Read>(r: R) -> Result<Vec<MaintenanceRecord>, CsvErro
         if skip_line(&line, idx, headers::MAINTENANCE) {
             continue;
         }
-        let lineno = idx + 1;
-        let mut f = Fields::new(&line, lineno, 5)?;
-        let system = SystemId::new(f.next("system id")?);
-        let node = NodeId::new(f.next("node id")?);
-        let time = Timestamp::from_seconds(f.next("time")?);
-        let hw: u8 = f.next("hardware_related flag")?;
-        let sched: u8 = f.next("scheduled flag")?;
-        out.push(MaintenanceRecord {
-            system,
-            node,
-            time,
-            hardware_related: hw != 0,
-            scheduled: sched != 0,
-        });
+        out.push(parse_maintenance_line(&line, idx + 1)?);
     }
     hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
+}
+
+/// Parses one `maintenance.csv` data line.
+pub(crate) fn parse_maintenance_line(
+    line: &str,
+    lineno: usize,
+) -> Result<MaintenanceRecord, CsvError> {
+    let mut f = Fields::new(line, lineno, 5)?;
+    let system = SystemId::new(f.next("system id")?);
+    let node = NodeId::new(f.next("node id")?);
+    let time = Timestamp::from_seconds(f.next("time")?);
+    let hw: u8 = f.next("hardware_related flag")?;
+    let sched: u8 = f.next("scheduled flag")?;
+    Ok(MaintenanceRecord {
+        system,
+        node,
+        time,
+        hardware_related: hw != 0,
+        scheduled: sched != 0,
+    })
 }
 
 /// Writes neutron-monitor samples.
@@ -418,14 +504,19 @@ pub fn read_neutron<R: Read>(r: R) -> Result<Vec<NeutronSample>, CsvError> {
         if skip_line(&line, idx, headers::NEUTRON) {
             continue;
         }
-        let mut f = Fields::new(&line, idx + 1, 2)?;
-        out.push(NeutronSample {
-            time: Timestamp::from_seconds(f.next("time")?),
-            counts_per_minute: f.next("counts")?,
-        });
+        out.push(parse_neutron_line(&line, idx + 1)?);
     }
     hpcfail_obs::counter("store.csv_rows_read").add(out.len() as u64);
     Ok(out)
+}
+
+/// Parses one `neutron.csv` data line.
+pub(crate) fn parse_neutron_line(line: &str, lineno: usize) -> Result<NeutronSample, CsvError> {
+    let mut f = Fields::new(line, lineno, 2)?;
+    Ok(NeutronSample {
+        time: Timestamp::from_seconds(f.next("time")?),
+        counts_per_minute: f.next("counts")?,
+    })
 }
 
 /// Writes one system's machine-room layout.
@@ -470,18 +561,27 @@ pub fn read_layouts<R: Read>(r: R) -> Result<BTreeMap<SystemId, MachineLayout>, 
         if line.is_empty() || line == headers::LAYOUT {
             continue;
         }
-        let mut f = Fields::new(&line, idx + 1, 6)?;
-        let system = SystemId::new(f.next("system id")?);
-        let node = NodeId::new(f.next("node id")?);
-        let loc = NodeLocation {
-            rack: RackId::new(f.next("rack id")?),
-            position_in_rack: f.next("position in rack")?,
-            room_row: f.next("room row")?,
-            room_col: f.next("room column")?,
-        };
+        let (system, node, loc) = parse_layout_line(&line, idx + 1)?;
         out.entry(system).or_default().place(node, loc);
     }
     Ok(out)
+}
+
+/// Parses one `layout.csv` data line into its placement triple.
+pub(crate) fn parse_layout_line(
+    line: &str,
+    lineno: usize,
+) -> Result<(SystemId, NodeId, NodeLocation), CsvError> {
+    let mut f = Fields::new(line, lineno, 6)?;
+    let system = SystemId::new(f.next("system id")?);
+    let node = NodeId::new(f.next("node id")?);
+    let loc = NodeLocation {
+        rack: RackId::new(f.next("rack id")?),
+        position_in_rack: f.next("position in rack")?,
+        room_row: f.next("room row")?,
+        room_col: f.next("room column")?,
+    };
+    Ok((system, node, loc))
 }
 
 fn hardware_label(h: HardwareClass) -> &'static str {
@@ -529,41 +629,45 @@ pub fn read_system_configs<R: Read>(r: R) -> Result<Vec<SystemConfig>, CsvError>
         if skip_line(&line, idx, headers::SYSTEMS) {
             continue;
         }
-        let lineno = idx + 1;
-        let mut f = Fields::new(&line, lineno, 10)?;
-        let id = SystemId::new(f.next("system id")?);
-        let name = f.next_str().to_owned();
-        let nodes = f.next("node count")?;
-        let procs_per_node = f.next("procs per node")?;
-        let hardware = match f.next_str() {
-            "SMP4" => HardwareClass::Smp4Way,
-            "NUMA" => HardwareClass::Numa,
-            other => {
-                return Err(CsvError::Parse {
-                    line: lineno,
-                    message: format!("unknown hardware class {other:?}"),
-                })
-            }
-        };
-        let start = Timestamp::from_seconds(f.next("start")?);
-        let end = Timestamp::from_seconds(f.next("end")?);
-        let has_layout = f.next::<u8>("has_layout")? != 0;
-        let has_job_log = f.next::<u8>("has_job_log")? != 0;
-        let has_temperature = f.next::<u8>("has_temperature")? != 0;
-        out.push(SystemConfig {
-            id,
-            name,
-            nodes,
-            procs_per_node,
-            hardware,
-            start,
-            end,
-            has_layout,
-            has_job_log,
-            has_temperature,
-        });
+        out.push(parse_system_line(&line, idx + 1)?);
     }
     Ok(out)
+}
+
+/// Parses one `systems.csv` data line.
+pub(crate) fn parse_system_line(line: &str, lineno: usize) -> Result<SystemConfig, CsvError> {
+    let mut f = Fields::new(line, lineno, 10)?;
+    let id = SystemId::new(f.next("system id")?);
+    let name = f.next_str().to_owned();
+    let nodes = f.next("node count")?;
+    let procs_per_node = f.next("procs per node")?;
+    let hardware = match f.next_str() {
+        "SMP4" => HardwareClass::Smp4Way,
+        "NUMA" => HardwareClass::Numa,
+        other => {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("unknown hardware class {other:?}"),
+            })
+        }
+    };
+    let start = Timestamp::from_seconds(f.next("start")?);
+    let end = Timestamp::from_seconds(f.next("end")?);
+    let has_layout = f.next::<u8>("has_layout")? != 0;
+    let has_job_log = f.next::<u8>("has_job_log")? != 0;
+    let has_temperature = f.next::<u8>("has_temperature")? != 0;
+    Ok(SystemConfig {
+        id,
+        name,
+        nodes,
+        procs_per_node,
+        hardware,
+        start,
+        end,
+        has_layout,
+        has_job_log,
+        has_temperature,
+    })
 }
 
 /// Saves a full trace as a directory of CSV files.
@@ -653,63 +757,19 @@ fn skip_header_and_copy<W: Write>(mut w: W, buf: &[u8]) -> Result<(), CsvError> 
     Ok(())
 }
 
-/// Loads a trace saved by [`save_trace`].
+/// Loads a trace saved by [`save_trace`], failing fast on the first
+/// malformed line (the [`IngestPolicy::Strict`](crate::ingest::IngestPolicy)
+/// policy). Use [`crate::ingest::load_trace_with`] for lenient or
+/// best-effort loads of dirty data.
 ///
 /// # Errors
 ///
-/// I/O failures and malformed lines. Records referencing a system id
-/// absent from `systems.csv` are rejected.
+/// I/O failures and malformed lines, with the offending file name
+/// attached. Records referencing a system id absent from `systems.csv`
+/// or a node id outside the system's configured node count are
+/// rejected.
 pub fn load_trace<P: AsRef<Path>>(dir: P) -> Result<Trace, CsvError> {
-    let dir = dir.as_ref();
-    let configs = read_system_configs(std::fs::File::open(dir.join("systems.csv"))?)?;
-    let mut builders: BTreeMap<SystemId, SystemTraceBuilder> = configs
-        .into_iter()
-        .map(|c| (c.id, SystemTraceBuilder::new(c)))
-        .collect();
-
-    let unknown = |sys: SystemId| CsvError::Parse {
-        line: 0,
-        message: format!("record references unknown system {sys}"),
-    };
-
-    for r in read_failures(std::fs::File::open(dir.join("failures.csv"))?)? {
-        builders
-            .get_mut(&r.system)
-            .ok_or_else(|| unknown(r.system))?
-            .push_failure(r);
-    }
-    for j in read_jobs(std::fs::File::open(dir.join("jobs.csv"))?)? {
-        let sys = j.system;
-        builders
-            .get_mut(&sys)
-            .ok_or_else(|| unknown(sys))?
-            .push_job(j);
-    }
-    for t in read_temperatures(std::fs::File::open(dir.join("temperatures.csv"))?)? {
-        builders
-            .get_mut(&t.system)
-            .ok_or_else(|| unknown(t.system))?
-            .push_temperature(t);
-    }
-    for m in read_maintenance(std::fs::File::open(dir.join("maintenance.csv"))?)? {
-        builders
-            .get_mut(&m.system)
-            .ok_or_else(|| unknown(m.system))?
-            .push_maintenance(m);
-    }
-    for (sys, layout) in read_layouts(std::fs::File::open(dir.join("layout.csv"))?)? {
-        builders
-            .get_mut(&sys)
-            .ok_or_else(|| unknown(sys))?
-            .layout(layout);
-    }
-
-    let mut trace = Trace::new();
-    for (_, b) in builders {
-        trace.insert_system(b.build());
-    }
-    trace.set_neutron_samples(read_neutron(std::fs::File::open(dir.join("neutron.csv"))?)?);
-    Ok(trace)
+    crate::ingest::load_trace_with(dir, crate::ingest::IngestPolicy::Strict).map(|(t, _)| t)
 }
 
 /// Convenience: one system's records round-tripped through buffers,

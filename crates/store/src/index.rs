@@ -107,11 +107,20 @@ where
     K: Eq + Hash,
     V: Clone,
 {
-    if let Some(v) = map.read().expect("timeline index lock").get(&key) {
+    // Cached values are immutable once built, so a poisoned lock (a
+    // worker panicking mid-experiment) leaves the map consistent —
+    // recover rather than cascade the panic.
+    if let Some(v) = map
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+    {
         hpcfail_obs::counter(hit).inc();
         return v.clone();
     }
-    let mut guard = map.write().expect("timeline index lock");
+    let mut guard = map
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(v) = guard.get(&key) {
         hpcfail_obs::counter(hit).inc();
         return v.clone();
@@ -130,11 +139,17 @@ fn get_or_build_single<V: Clone>(
     miss: &'static str,
     build: impl FnOnce() -> V,
 ) -> V {
-    if let Some(v) = slot.read().expect("timeline index lock").as_ref() {
+    if let Some(v) = slot
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .as_ref()
+    {
         hpcfail_obs::counter(hit).inc();
         return v.clone();
     }
-    let mut guard = slot.write().expect("timeline index lock");
+    let mut guard = slot
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(v) = guard.as_ref() {
         hpcfail_obs::counter(hit).inc();
         return v.clone();

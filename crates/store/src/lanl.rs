@@ -285,6 +285,23 @@ pub fn read_lanl_failures<R: Read>(
     Ok(out)
 }
 
+/// Reads CFDR-style LANL failure records from a file, attaching the
+/// path to any error so "line 12" names which CSV it came from.
+///
+/// # Errors
+///
+/// Same as [`read_lanl_failures`], wrapped in
+/// [`CsvError::InFile`].
+pub fn read_lanl_failures_from_path<P: AsRef<std::path::Path>>(
+    path: P,
+    options: LanlImportOptions,
+) -> Result<Vec<FailureRecord>, CsvError> {
+    let path = path.as_ref();
+    let file_label = path.display().to_string();
+    let file = std::fs::File::open(path).map_err(|e| CsvError::from(e).in_file(&*file_label))?;
+    read_lanl_failures(file, options).map_err(|e| e.in_file(file_label))
+}
+
 /// Assembles imported failure records into a [`Trace`](crate::trace::Trace), inferring a
 /// minimal [`SystemConfig`] per system: node count from the highest
 /// node number seen, observation span from the first/last record

@@ -13,6 +13,8 @@
 //! - [`features`] — derived per-node features (utilization, job counts,
 //!   temperature aggregates) feeding the paper's regressions.
 //! - [`csv`] — the toolkit's native CSV schema (ingest and export).
+//! - [`ingest`] — policy-driven loading (strict / lenient / best-effort)
+//!   with per-line quarantine and a cross-record data-quality audit.
 //! - [`lanl`] — importer for CFDR-style LANL failure records
 //!   (`MM/DD/YYYY HH:MM` timestamps, `Facilities`/`Human Error` cause
 //!   labels).
@@ -53,6 +55,7 @@
 pub mod csv;
 pub mod features;
 pub mod index;
+pub mod ingest;
 pub mod lanl;
 pub mod query;
 pub mod trace;
@@ -60,6 +63,9 @@ pub mod trace;
 /// The most frequently used items.
 pub mod prelude {
     pub use crate::features::{NodeFeatures, NodeUsage, TemperatureAggregate};
+    pub use crate::ingest::{
+        load_trace_with, DataQualityReport, IngestPolicy, IngestReport, QuarantinedLine,
+    };
     pub use crate::query::{BaselineEstimator, NodeEvents};
     pub use crate::trace::{SystemTrace, SystemTraceBuilder, Trace};
 }

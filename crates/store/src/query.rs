@@ -119,7 +119,11 @@ fn record_scan(scanned: u64, matched: u64) {
     hpcfail_obs::counter("store.rows_matched").add(matched);
     static TOTALS: std::sync::Mutex<(u64, u64)> = std::sync::Mutex::new((0, 0));
     let (s, m) = {
-        let mut totals = TOTALS.lock().expect("scan totals lock");
+        // Two plain additions can't leave the pair inconsistent, so
+        // recover from poisoning instead of cascading a worker panic.
+        let mut totals = TOTALS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         totals.0 += scanned;
         totals.1 += matched;
         *totals

@@ -1,0 +1,142 @@
+//! Generate a clean CSV trace directory and/or damage one of its files
+//! with a seed-deterministic mutation. The CI fault-injection smoke run
+//! uses this to hand `repro --trace` a corrupted input with known
+//! damage.
+
+use hpcfail_store::csv::save_trace;
+use hpcfail_synth::corrupt::{corrupt_file, MutationKind};
+use hpcfail_synth::FleetSpec;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    "Usage: corrupt --out DIR [OPTIONS]\n\
+     \n\
+     Options:\n\
+       --out DIR            trace directory to write or mutate (required)\n\
+       --generate           generate a clean fleet trace into DIR first\n\
+       --scale F            fleet scale for --generate (default 0.05)\n\
+       --seed N             fleet seed for --generate (default 42)\n\
+       --target FILE        trace file in DIR to corrupt (e.g. failures.csv)\n\
+       --kind KIND          mutation: torn-final-line, swap-fields, garbage-utf8,\n\
+                            duplicate-record, shuffle-timestamps, foreign-header\n\
+       --mutation-seed N    seed for the mutation (default 7)\n\
+       -h, --help           show this help\n\
+     \n\
+     With --target, prints one line per mutation:\n\
+       corrupted FILE kind=KIND seed=N damaged_lines=[..] duplicates=BOOL out_of_order=BOOL\n"
+        .to_owned()
+}
+
+struct Args {
+    out: String,
+    generate: bool,
+    scale: f64,
+    seed: u64,
+    target: Option<String>,
+    kind: Option<MutationKind>,
+    mutation_seed: u64,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        out: String::new(),
+        generate: false,
+        scale: 0.05,
+        seed: 42,
+        target: None,
+        kind: None,
+        mutation_seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("{what} requires a value\n\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out")?,
+            "--generate" => args.generate = true,
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--target" => args.target = Some(value("--target")?),
+            "--kind" => args.kind = Some(value("--kind")?.parse()?),
+            "--mutation-seed" => {
+                args.mutation_seed = value("--mutation-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --mutation-seed: {e}"))?;
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+    }
+    if args.out.is_empty() {
+        return Err(format!("--out is required\n\n{}", usage()));
+    }
+    if args.target.is_some() != args.kind.is_some() {
+        return Err("--target and --kind must be given together".to_owned());
+    }
+    if !args.generate && args.target.is_none() {
+        return Err(format!(
+            "nothing to do: pass --generate and/or --target\n\n{}",
+            usage()
+        ));
+    }
+    Ok(Some(args))
+}
+
+fn run(args: Args) -> Result<(), String> {
+    if args.generate {
+        let trace = FleetSpec::lanl_scaled(args.scale)
+            .generate(args.seed)
+            .into_store();
+        std::fs::create_dir_all(&args.out).map_err(|e| format!("creating {}: {e}", args.out))?;
+        save_trace(&args.out, &trace).map_err(|e| format!("saving trace: {e}"))?;
+        println!(
+            "generated {} (scale {}, seed {})",
+            args.out, args.scale, args.seed
+        );
+    }
+    if let (Some(target), Some(kind)) = (args.target, args.kind) {
+        let path = std::path::Path::new(&args.out).join(&target);
+        let report = corrupt_file(&path, kind, args.mutation_seed)
+            .map_err(|e| format!("corrupting {}: {e}", path.display()))?;
+        if !report.changed {
+            return Err(format!(
+                "{target}: no opportunity for {kind} (file too small?)"
+            ));
+        }
+        println!(
+            "corrupted {target} kind={kind} seed={} damaged_lines={:?} duplicates={} out_of_order={}",
+            report.seed, report.damaged_lines, report.expect_duplicates, report.expect_out_of_order
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(Some(args)) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("corrupt: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("corrupt: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

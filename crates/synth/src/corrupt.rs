@@ -1,0 +1,664 @@
+//! Seed-deterministic fault injection for CSV traces.
+//!
+//! Robustness claims about lenient ingestion are only testable if the
+//! damage is precisely known. This module mutates clean CSV bytes in
+//! the ways real operational logs go wrong — torn final lines from
+//! truncated transfers, swapped fields from schema drift, stray bytes
+//! from re-encoding, duplicated and re-ordered records from merge
+//! scripts, headers from the wrong file — and reports **exactly** which
+//! output lines were damaged, so a test can assert the reader
+//! quarantines those lines and nothing else.
+//!
+//! Every mutation is deterministic for a `(input, target, kind, seed)`
+//! tuple: the same corruption can be replayed from a CI failure log.
+//!
+//! ```
+//! use hpcfail_synth::corrupt::{corrupt_csv, MutationKind, TargetCsv};
+//!
+//! let clean = b"system,node,time,root_cause,sub_cause,downtime\n\
+//!               20,0,1000,HW,HW:CPU,3600\n";
+//! let (bytes, report) =
+//!     corrupt_csv(clean, TargetCsv::Failures, MutationKind::GarbageUtf8, 7);
+//! assert!(report.changed);
+//! assert_eq!(report.damaged_lines, vec![2]);
+//! assert!(std::str::from_utf8(&bytes).is_err());
+//! ```
+
+use hpcfail_store::csv::headers;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// The ways a CSV file can be damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// The final record is cut mid-field and the trailing newline
+    /// dropped, as if the file transfer was interrupted.
+    TornFinalLine,
+    /// Two columns of one record are exchanged (or a separator deleted
+    /// on schemas where any column swap still parses), as if written by
+    /// a tool with a different column order.
+    SwapFields,
+    /// A few bytes of one record are overwritten with `0xFF`, which is
+    /// never valid UTF-8.
+    GarbageUtf8,
+    /// One record is repeated verbatim on the next line.
+    DuplicateRecord,
+    /// The timestamps of two same-system records are exchanged, making
+    /// the file locally non-monotone while every line still parses.
+    ShuffleTimestamps,
+    /// Line 1 is replaced with the header of a *different* trace file.
+    ForeignHeader,
+}
+
+impl MutationKind {
+    /// Every mutation kind, for exhaustive test sweeps.
+    pub const ALL: [MutationKind; 6] = [
+        MutationKind::TornFinalLine,
+        MutationKind::SwapFields,
+        MutationKind::GarbageUtf8,
+        MutationKind::DuplicateRecord,
+        MutationKind::ShuffleTimestamps,
+        MutationKind::ForeignHeader,
+    ];
+
+    /// The command-line label (kebab-case).
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationKind::TornFinalLine => "torn-final-line",
+            MutationKind::SwapFields => "swap-fields",
+            MutationKind::GarbageUtf8 => "garbage-utf8",
+            MutationKind::DuplicateRecord => "duplicate-record",
+            MutationKind::ShuffleTimestamps => "shuffle-timestamps",
+            MutationKind::ForeignHeader => "foreign-header",
+        }
+    }
+}
+
+impl fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for MutationKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        MutationKind::ALL
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = MutationKind::ALL.iter().map(|k| k.label()).collect();
+                format!("unknown mutation kind {s:?} (expected one of {known:?})")
+            })
+    }
+}
+
+/// Which trace file's schema the bytes follow. Mutations are
+/// schema-aware so every "damaging" kind is guaranteed to actually
+/// break parsing (a random column swap on an all-numeric schema can
+/// produce a different but valid record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetCsv {
+    /// `failures.csv`.
+    Failures,
+    /// `jobs.csv`.
+    Jobs,
+    /// `temperatures.csv`.
+    Temperatures,
+    /// `maintenance.csv`.
+    Maintenance,
+    /// `neutron.csv`.
+    Neutron,
+    /// `layout.csv`.
+    Layout,
+    /// `systems.csv`.
+    Systems,
+}
+
+impl TargetCsv {
+    /// Every target, in the order foreign headers are searched.
+    pub const ALL: [TargetCsv; 7] = [
+        TargetCsv::Failures,
+        TargetCsv::Jobs,
+        TargetCsv::Temperatures,
+        TargetCsv::Maintenance,
+        TargetCsv::Neutron,
+        TargetCsv::Layout,
+        TargetCsv::Systems,
+    ];
+
+    /// The file name this schema is stored under.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            TargetCsv::Failures => "failures.csv",
+            TargetCsv::Jobs => "jobs.csv",
+            TargetCsv::Temperatures => "temperatures.csv",
+            TargetCsv::Maintenance => "maintenance.csv",
+            TargetCsv::Neutron => "neutron.csv",
+            TargetCsv::Layout => "layout.csv",
+            TargetCsv::Systems => "systems.csv",
+        }
+    }
+
+    /// Resolves a file name back to its schema.
+    pub fn from_file_name(name: &str) -> Option<TargetCsv> {
+        TargetCsv::ALL.into_iter().find(|t| t.file_name() == name)
+    }
+
+    /// The expected header line.
+    pub fn header(self) -> &'static str {
+        match self {
+            TargetCsv::Failures => headers::FAILURES,
+            TargetCsv::Jobs => headers::JOBS,
+            TargetCsv::Temperatures => headers::TEMPERATURES,
+            TargetCsv::Maintenance => headers::MAINTENANCE,
+            TargetCsv::Neutron => headers::NEUTRON,
+            TargetCsv::Layout => headers::LAYOUT,
+            TargetCsv::Systems => headers::SYSTEMS,
+        }
+    }
+
+    /// Number of columns in the schema.
+    pub fn field_count(self) -> usize {
+        self.header().split(',').count()
+    }
+
+    /// Columns whose exchange is guaranteed to break parsing (a numeric
+    /// column swapped with a label column). `None` means no such pair
+    /// exists and [`MutationKind::SwapFields`] deletes a separator
+    /// instead.
+    fn swap_cols(self) -> Option<(usize, usize)> {
+        match self {
+            // system (u16) <-> root_cause label.
+            TargetCsv::Failures => Some((0, 3)),
+            // nodes (u32) <-> hardware class label.
+            TargetCsv::Systems => Some((2, 4)),
+            _ => None,
+        }
+    }
+
+    /// The timestamp column, if the schema has one.
+    fn time_col(self) -> Option<usize> {
+        match self {
+            TargetCsv::Failures | TargetCsv::Temperatures | TargetCsv::Maintenance => Some(2),
+            TargetCsv::Jobs => Some(3),
+            TargetCsv::Neutron => Some(0),
+            TargetCsv::Layout | TargetCsv::Systems => None,
+        }
+    }
+
+    /// The system-id column, if the schema has one. Timestamp shuffles
+    /// stay within one system so the damage is observable as a
+    /// same-system ordering inversion.
+    fn system_col(self) -> Option<usize> {
+        match self {
+            TargetCsv::Failures
+            | TargetCsv::Jobs
+            | TargetCsv::Temperatures
+            | TargetCsv::Maintenance
+            | TargetCsv::Layout => Some(0),
+            TargetCsv::Neutron | TargetCsv::Systems => None,
+        }
+    }
+}
+
+impl fmt::Display for TargetCsv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.file_name())
+    }
+}
+
+/// Exactly what a corruption did, for tests to assert against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// The mutation applied.
+    pub kind: MutationKind,
+    /// The seed it was applied under.
+    pub seed: u64,
+    /// 1-based line numbers **in the output bytes** that a lenient
+    /// reader must quarantine — and nothing else.
+    pub damaged_lines: Vec<usize>,
+    /// `true` if the mutation introduced a consecutive duplicate that a
+    /// recovering reader should drop (records stay intact).
+    pub expect_duplicates: bool,
+    /// `true` if the mutation re-ordered timestamps (records stay
+    /// intact but the quality audit should flag the inversion).
+    pub expect_out_of_order: bool,
+    /// `false` if the input offered no opportunity for this mutation
+    /// (e.g. torn final line on a header-only file); the output equals
+    /// the input.
+    pub changed: bool,
+}
+
+/// A file split into lines with its trailing-newline convention
+/// remembered, so unmutated parts are reassembled byte-identically.
+struct Lines {
+    lines: Vec<Vec<u8>>,
+    trailing_newline: bool,
+}
+
+impl Lines {
+    fn split(input: &[u8]) -> Lines {
+        let trailing_newline = input.last() == Some(&b'\n');
+        let mut lines: Vec<Vec<u8>> = input.split(|&b| b == b'\n').map(<[u8]>::to_vec).collect();
+        if trailing_newline {
+            lines.pop();
+        }
+        Lines {
+            lines,
+            trailing_newline,
+        }
+    }
+
+    fn join(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            if i > 0 {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(line);
+        }
+        if self.trailing_newline && !self.lines.is_empty() {
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Indices of data lines: non-blank, not a header occurrence the
+    /// reader would skip.
+    fn data_indices(&self, target: TargetCsv) -> Vec<usize> {
+        let header = target.header().as_bytes();
+        let header_anywhere = matches!(target, TargetCsv::Layout);
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| {
+                !l.is_empty() && !(l.as_slice() == header && (*i == 0 || header_anywhere))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn field_ranges(line: &[u8]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    for (i, &b) in line.iter().enumerate() {
+        if b == b',' {
+            ranges.push((start, i));
+            start = i + 1;
+        }
+    }
+    ranges.push((start, line.len()));
+    ranges
+}
+
+fn unchanged(kind: MutationKind, seed: u64) -> CorruptionReport {
+    CorruptionReport {
+        kind,
+        seed,
+        damaged_lines: Vec::new(),
+        expect_duplicates: false,
+        expect_out_of_order: false,
+        changed: false,
+    }
+}
+
+/// Applies one mutation to clean CSV bytes, returning the corrupted
+/// bytes and a [`CorruptionReport`] naming the damage.
+///
+/// Deterministic for a given `(input, target, kind, seed)`. If the
+/// input offers no opportunity for the mutation (no data lines, no
+/// same-system timestamp pair, ...), the bytes come back unchanged and
+/// the report says `changed: false` — callers decide whether that is a
+/// test skip or a failure.
+pub fn corrupt_csv(
+    input: &[u8],
+    target: TargetCsv,
+    kind: MutationKind,
+    seed: u64,
+) -> (Vec<u8>, CorruptionReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut file = Lines::split(input);
+    let data = file.data_indices(target);
+    let mut report = unchanged(kind, seed);
+
+    match kind {
+        MutationKind::TornFinalLine => {
+            let Some(&last) = data.last() else {
+                return (input.to_vec(), report);
+            };
+            let line = &mut file.lines[last];
+            // Cut inside the first field so the shortened line can never
+            // be a valid, shorter record: the field count is wrong.
+            let first_field_end = line.iter().position(|&b| b == b',').unwrap_or(line.len());
+            let keep = if first_field_end == 0 {
+                0
+            } else {
+                rng.gen_range(1..=first_field_end)
+            };
+            line.truncate(keep);
+            if line.is_empty() {
+                // A fully torn line would read as blank (skipped, not
+                // quarantined); keep one byte so the damage is visible.
+                line.push(b'?');
+            }
+            file.lines.truncate(last + 1);
+            file.trailing_newline = false;
+            report.damaged_lines = vec![last + 1];
+            report.changed = true;
+        }
+        MutationKind::SwapFields => {
+            if data.is_empty() {
+                return (input.to_vec(), report);
+            }
+            let idx = data[rng.gen_range(0..data.len())];
+            let line = &mut file.lines[idx];
+            let ranges = field_ranges(line);
+            if let Some((a, b)) = target.swap_cols() {
+                if ranges.len() != target.field_count() {
+                    return (input.to_vec(), report);
+                }
+                let fa = line[ranges[a].0..ranges[a].1].to_vec();
+                let fb = line[ranges[b].0..ranges[b].1].to_vec();
+                let mut swapped = Vec::with_capacity(line.len());
+                for (i, &(s, e)) in ranges.iter().enumerate() {
+                    if i > 0 {
+                        swapped.push(b',');
+                    }
+                    if i == a {
+                        swapped.extend_from_slice(&fb);
+                    } else if i == b {
+                        swapped.extend_from_slice(&fa);
+                    } else {
+                        swapped.extend_from_slice(&line[s..e]);
+                    }
+                }
+                *line = swapped;
+            } else {
+                // No label/number pair to exchange: delete a separator,
+                // which always breaks the field count.
+                let commas: Vec<usize> = line
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b == b',')
+                    .map(|(i, _)| i)
+                    .collect();
+                if commas.is_empty() {
+                    return (input.to_vec(), report);
+                }
+                line.remove(commas[rng.gen_range(0..commas.len())]);
+            }
+            report.damaged_lines = vec![idx + 1];
+            report.changed = true;
+        }
+        MutationKind::GarbageUtf8 => {
+            if data.is_empty() {
+                return (input.to_vec(), report);
+            }
+            let idx = data[rng.gen_range(0..data.len())];
+            let line = &mut file.lines[idx];
+            if line.is_empty() {
+                return (input.to_vec(), report);
+            }
+            let at = rng.gen_range(0..line.len());
+            let n = rng.gen_range(1..=3usize).min(line.len() - at);
+            for b in &mut line[at..at + n] {
+                *b = 0xFF;
+            }
+            report.damaged_lines = vec![idx + 1];
+            report.changed = true;
+        }
+        MutationKind::DuplicateRecord => {
+            if data.is_empty() {
+                return (input.to_vec(), report);
+            }
+            let idx = data[rng.gen_range(0..data.len())];
+            let copy = file.lines[idx].clone();
+            file.lines.insert(idx + 1, copy);
+            report.expect_duplicates = true;
+            report.changed = true;
+        }
+        MutationKind::ShuffleTimestamps => {
+            let (Some(time_col), system_col) = (target.time_col(), target.system_col()) else {
+                return (input.to_vec(), report);
+            };
+            // Candidate pairs: same system, earlier line strictly older
+            // — swapping guarantees at least one adjacent inversion in
+            // that system's file-order subsequence.
+            let parsed: Vec<(usize, Vec<u8>, i64)> = data
+                .iter()
+                .filter_map(|&i| {
+                    let line = &file.lines[i];
+                    let ranges = field_ranges(line);
+                    let time = ranges.get(time_col)?;
+                    let t: i64 = std::str::from_utf8(&line[time.0..time.1])
+                        .ok()?
+                        .trim()
+                        .parse()
+                        .ok()?;
+                    let sys = match system_col {
+                        Some(c) => {
+                            let r = ranges.get(c)?;
+                            line[r.0..r.1].to_vec()
+                        }
+                        None => Vec::new(),
+                    };
+                    Some((i, sys, t))
+                })
+                .collect();
+            let mut pairs = Vec::new();
+            for (pi, a) in parsed.iter().enumerate() {
+                for b in parsed.iter().skip(pi + 1) {
+                    if a.1 == b.1 && a.2 < b.2 {
+                        pairs.push((a.0, b.0));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                return (input.to_vec(), report);
+            }
+            let (i, j) = pairs[rng.gen_range(0..pairs.len())];
+            let ri = field_ranges(&file.lines[i])[time_col];
+            let rj = field_ranges(&file.lines[j])[time_col];
+            let ti = file.lines[i][ri.0..ri.1].to_vec();
+            let tj = file.lines[j][rj.0..rj.1].to_vec();
+            file.lines[i].splice(ri.0..ri.1, tj);
+            file.lines[j].splice(rj.0..rj.1, ti);
+            report.expect_out_of_order = true;
+            report.changed = true;
+        }
+        MutationKind::ForeignHeader => {
+            if file.lines.is_empty() || file.lines[0] != target.header().as_bytes() {
+                return (input.to_vec(), report);
+            }
+            let foreign = TargetCsv::ALL
+                .into_iter()
+                .find(|t| t.field_count() != target.field_count())
+                .map(|t| t.header())
+                .unwrap_or(headers::SYSTEMS);
+            file.lines[0] = foreign.as_bytes().to_vec();
+            // The impostor header no longer matches, so the reader
+            // parses it as a record and fails on the field count.
+            report.damaged_lines = vec![1];
+            report.changed = true;
+        }
+    }
+    (file.join(), report)
+}
+
+/// Corrupts a trace file in place. The target schema is inferred from
+/// the file name.
+///
+/// # Errors
+///
+/// I/O failures, or an unrecognized file name.
+pub fn corrupt_file<P: AsRef<std::path::Path>>(
+    path: P,
+    kind: MutationKind,
+    seed: u64,
+) -> std::io::Result<CorruptionReport> {
+    let path = path.as_ref();
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default();
+    let target = TargetCsv::from_file_name(name).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{name:?} is not a recognized trace file"),
+        )
+    })?;
+    let input = std::fs::read(path)?;
+    let (bytes, report) = corrupt_csv(&input, target, kind, seed);
+    std::fs::write(path, bytes)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "system,node,time,root_cause,sub_cause,downtime\n\
+                         20,0,1000,HW,HW:CPU,3600\n\
+                         20,5,2000,ENV,ENV:UPS,\n\
+                         20,7,3000,UNDET,-,\n";
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        for kind in MutationKind::ALL {
+            let (a, ra) = corrupt_csv(CLEAN.as_bytes(), TargetCsv::Failures, kind, 9);
+            let (b, rb) = corrupt_csv(CLEAN.as_bytes(), TargetCsv::Failures, kind, 9);
+            assert_eq!(a, b, "{kind}");
+            assert_eq!(ra, rb, "{kind}");
+            assert!(ra.changed, "{kind} found an opportunity in CLEAN");
+        }
+    }
+
+    #[test]
+    fn torn_final_line_drops_newline_and_breaks_last_record() {
+        let (bytes, report) = corrupt_csv(
+            CLEAN.as_bytes(),
+            TargetCsv::Failures,
+            MutationKind::TornFinalLine,
+            3,
+        );
+        assert_ne!(bytes.last(), Some(&b'\n'));
+        assert_eq!(report.damaged_lines, vec![4]);
+        let text = String::from_utf8(bytes).unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(
+            last.split(',').count() < 6,
+            "torn line {last:?} lost fields"
+        );
+    }
+
+    #[test]
+    fn swap_fields_exchanges_system_and_cause() {
+        let (bytes, report) = corrupt_csv(
+            CLEAN.as_bytes(),
+            TargetCsv::Failures,
+            MutationKind::SwapFields,
+            5,
+        );
+        let text = String::from_utf8(bytes).unwrap();
+        let damaged = text.lines().nth(report.damaged_lines[0] - 1).unwrap();
+        let fields: Vec<&str> = damaged.split(',').collect();
+        assert!(
+            fields[0].parse::<u16>().is_err(),
+            "system now {:?}",
+            fields[0]
+        );
+    }
+
+    #[test]
+    fn garbage_is_never_valid_utf8() {
+        for seed in 0..20 {
+            let (bytes, report) = corrupt_csv(
+                CLEAN.as_bytes(),
+                TargetCsv::Failures,
+                MutationKind::GarbageUtf8,
+                seed,
+            );
+            assert!(report.changed);
+            assert!(std::str::from_utf8(&bytes).is_err(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_is_adjacent_and_verbatim() {
+        let (bytes, report) = corrupt_csv(
+            CLEAN.as_bytes(),
+            TargetCsv::Failures,
+            MutationKind::DuplicateRecord,
+            1,
+        );
+        assert!(report.expect_duplicates);
+        assert!(report.damaged_lines.is_empty(), "no line needs quarantine");
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.windows(2).any(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn shuffle_creates_an_inversion_without_breaking_parses() {
+        let (bytes, report) = corrupt_csv(
+            CLEAN.as_bytes(),
+            TargetCsv::Failures,
+            MutationKind::ShuffleTimestamps,
+            2,
+        );
+        assert!(report.expect_out_of_order);
+        let text = String::from_utf8(bytes).unwrap();
+        let times: Vec<i64> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert!(times.windows(2).any(|w| w[0] > w[1]), "times {times:?}");
+    }
+
+    #[test]
+    fn foreign_header_replaces_line_one() {
+        let (bytes, report) = corrupt_csv(
+            CLEAN.as_bytes(),
+            TargetCsv::Failures,
+            MutationKind::ForeignHeader,
+            0,
+        );
+        assert_eq!(report.damaged_lines, vec![1]);
+        let text = String::from_utf8(bytes).unwrap();
+        let first = text.lines().next().unwrap();
+        assert_ne!(first, headers::FAILURES);
+        assert_ne!(first.split(',').count(), 6, "field count must differ");
+    }
+
+    #[test]
+    fn hopeless_inputs_come_back_unchanged() {
+        let header_only = format!("{}\n", headers::FAILURES);
+        for kind in [
+            MutationKind::TornFinalLine,
+            MutationKind::SwapFields,
+            MutationKind::GarbageUtf8,
+            MutationKind::DuplicateRecord,
+            MutationKind::ShuffleTimestamps,
+        ] {
+            let (bytes, report) =
+                corrupt_csv(header_only.as_bytes(), TargetCsv::Failures, kind, 11);
+            assert!(!report.changed, "{kind}");
+            assert_eq!(bytes, header_only.as_bytes(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in MutationKind::ALL {
+            assert_eq!(kind.label().parse::<MutationKind>().unwrap(), kind);
+        }
+        assert!("gremlins".parse::<MutationKind>().is_err());
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corrupt;
 pub mod events;
 pub mod excitation;
 pub mod neutron;

@@ -259,17 +259,18 @@ fn simulate_system<R: Rng + ?Sized>(
                 let f = m.multiplier(day);
                 match m.target {
                     ModifierTarget::Hw(c) => {
-                        let i = hw_shares
-                            .iter()
-                            .position(|(hc, _)| *hc == c)
-                            .expect("known hw");
+                        // A modifier naming a component outside the
+                        // share table has nothing to elevate; skip it
+                        // rather than abort the simulation.
+                        let Some(i) = hw_shares.iter().position(|(hc, _)| *hc == c) else {
+                            continue;
+                        };
                         hw_mult[i] = hw_mult[i].max(f);
                     }
                     ModifierTarget::Sw(c) => {
-                        let i = sw_shares
-                            .iter()
-                            .position(|(sc, _)| *sc == c)
-                            .expect("known sw");
+                        let Some(i) = sw_shares.iter().position(|(sc, _)| *sc == c) else {
+                            continue;
+                        };
                         sw_mult[i] = sw_mult[i].max(f);
                     }
                 }
