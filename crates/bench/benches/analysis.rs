@@ -3,11 +3,10 @@
 //! fits and CSV serialization.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use hpcfail_core::correlation::{CorrelationAnalysis, Scope};
-use hpcfail_core::pairwise::PairwiseAnalysis;
-use hpcfail_core::power::PowerAnalysis;
+use hpcfail_core::correlation::Scope;
+use hpcfail_core::engine::Engine;
 use hpcfail_core::predict::AlarmRule;
-use hpcfail_core::regression_study::{RegressionStudy, StudyFamily};
+use hpcfail_core::regression_study::StudyFamily;
 use hpcfail_stats::glm::{fit_negative_binomial, Family, GlmModel};
 use hpcfail_store::csv;
 use hpcfail_store::query::{covered_window_starts, BaselineEstimator};
@@ -38,8 +37,8 @@ fn bench_baseline(c: &mut Criterion) {
 }
 
 fn bench_conditionals(c: &mut Criterion) {
-    let trace = bench_fleet();
-    let analysis = CorrelationAnalysis::new(&trace);
+    let engine = Engine::new(bench_fleet());
+    let analysis = engine.correlation();
     c.bench_function("conditional_same_node_week", |b| {
         b.iter(|| {
             analysis.group_conditional(
@@ -74,11 +73,11 @@ fn bench_conditionals(c: &mut Criterion) {
         })
     });
     c.bench_function("pairwise_same_type_summaries", |b| {
-        let pairwise = PairwiseAnalysis::new(&trace);
+        let pairwise = engine.pairwise();
         b.iter(|| pairwise.same_type_summaries(SystemGroup::Group1, Window::Week, Scope::SameNode))
     });
     c.bench_function("power_figure10_left", |b| {
-        let power = PowerAnalysis::new(&trace);
+        let power = engine.power();
         b.iter(|| power.figure10_left())
     });
     c.bench_function("alarm_rule_week_evaluation", |b| {
@@ -86,7 +85,7 @@ fn bench_conditionals(c: &mut Criterion) {
             trigger: FailureClass::Any,
             window: Window::Week,
         };
-        b.iter(|| rule.evaluate_group(&trace, SystemGroup::Group1))
+        b.iter(|| rule.evaluate_group(engine.trace(), SystemGroup::Group1))
     });
 }
 
@@ -101,8 +100,8 @@ fn bench_window_kernel(c: &mut Criterion) {
 }
 
 fn bench_glm(c: &mut Criterion) {
-    let trace = bench_fleet();
-    let study = RegressionStudy::new(&trace);
+    let engine = Engine::new(bench_fleet());
+    let study = engine.regression();
     c.bench_function("table2_poisson_fit", |b| {
         b.iter(|| {
             study

@@ -19,7 +19,7 @@
 //! write failure), `2` degraded (at least one failed experiment or
 //! quarantined input line — results were produced but are incomplete).
 
-use hpcfail_bench::{experiment, ExperimentOutcome, ReproContext, EXPERIMENTS};
+use hpcfail_bench::{experiment, Experiment, ExperimentOutcome, ReproContext, EXPERIMENTS};
 use hpcfail_obs::manifest::{git_describe, ManifestSink};
 use hpcfail_obs::sink::Sink;
 use hpcfail_report::obs_sink::TableSink;
@@ -143,11 +143,16 @@ fn main() -> ExitCode {
     if ids.iter().any(|i| i == "all") {
         ids = EXPERIMENTS.iter().map(|e| e.id.to_owned()).collect();
     }
-    // Validate ids before paying for generation.
+    // Resolve ids before paying for generation; keeps the run loop
+    // free of "already validated" lookups.
+    let mut selected: Vec<&'static Experiment> = Vec::with_capacity(ids.len());
     for id in &ids {
-        if experiment(id).is_none() {
-            eprintln!("unknown experiment {id:?}; try --list");
-            return ExitCode::FAILURE;
+        match experiment(id) {
+            Some(e) => selected.push(e),
+            None => {
+                eprintln!("unknown experiment {id:?}; try --list");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if let Some(id) = &inject_failure {
@@ -210,8 +215,7 @@ fn main() -> ExitCode {
     // the default hook so the raw panic message and backtrace don't
     // interleave with other experiments' progress on stderr.
     std::panic::set_hook(Box::new(|_| {}));
-    let reports = hpcfail_core::parallel::parallel_map(&ids, threads, |id| {
-        let e = experiment(id).expect("validated above");
+    let reports = hpcfail_core::parallel::parallel_map(&selected, threads, |&e| {
         (e, e.execute_opts(&ctx, inject == Some(e.id)))
     });
     let _ = std::panic::take_hook();

@@ -2,17 +2,13 @@
 //! table/figure. Each returns the plain-text report.
 
 use crate::ReproContext;
-use hpcfail_core::correlation::{CorrelationAnalysis, Scope};
-use hpcfail_core::cosmic::CosmicAnalysis;
-use hpcfail_core::nodes::NodeAnalysis;
-use hpcfail_core::pairwise::PairwiseAnalysis;
+use hpcfail_core::correlation::Scope;
+use hpcfail_core::engine::Engine;
 use hpcfail_core::parallel::{default_threads, parallel_map};
-use hpcfail_core::power::{PowerAnalysis, PowerProblem};
+use hpcfail_core::power::PowerProblem;
 use hpcfail_core::predict::AlarmRule;
 use hpcfail_core::regression_study::{RegressionStudy, StudyFamily};
-use hpcfail_core::temperature::{TempPredictor, TemperatureAnalysis};
-use hpcfail_core::usage::UsageAnalysis;
-use hpcfail_core::users::UserAnalysis;
+use hpcfail_core::temperature::TempPredictor;
 use hpcfail_report::chart::ScatterPlot;
 use hpcfail_report::figures::{render_conditional_table, render_glm_table};
 use hpcfail_report::fmt::{factor, p_value, pct, stars};
@@ -27,7 +23,7 @@ const TEMP_SYSTEM: u16 = 20;
 const SCATTER_SYSTEM: u16 = 2;
 
 pub(crate) fn sec3a(ctx: &ReproContext) -> String {
-    let analysis = CorrelationAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().correlation();
     let mut t = Table::new(&["group", "window", "P(after failure)", "P(random)", "factor"]);
     for group in SystemGroup::ALL {
         for window in [Window::Day, Window::Week] {
@@ -54,7 +50,7 @@ pub(crate) fn sec3a(ctx: &ReproContext) -> String {
 }
 
 fn any_followup_figure(ctx: &ReproContext, window: Window, scope: Scope, title: &str) -> String {
-    let analysis = CorrelationAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().correlation();
     let groups: Vec<SystemGroup> = match scope {
         // Rack layout exists only for group-1 systems.
         Scope::SameRack => vec![SystemGroup::Group1],
@@ -86,7 +82,7 @@ pub(crate) fn fig1a(ctx: &ReproContext) -> String {
 }
 
 fn same_type_figure(ctx: &ReproContext, scope: Scope, title: &str) -> String {
-    let analysis = PairwiseAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().pairwise();
     let groups: Vec<SystemGroup> = match scope {
         Scope::SameRack => vec![SystemGroup::Group1],
         _ => SystemGroup::ALL.to_vec(),
@@ -154,7 +150,7 @@ pub(crate) fn fig3(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig4(ctx: &ReproContext) -> String {
-    let analysis = NodeAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().nodes();
     let mut out = String::from("Fig 4: total failures per node id\n");
     for id in BIG_SYSTEMS {
         let system = SystemId::new(id);
@@ -223,7 +219,7 @@ pub(crate) fn fig4(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig5(ctx: &ReproContext) -> String {
-    let analysis = NodeAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().nodes();
     let mut out = String::from("Fig 5: root-cause breakdown, node 0 vs rest of system\n");
     for id in BIG_SYSTEMS {
         let system = SystemId::new(id);
@@ -247,7 +243,7 @@ pub(crate) fn fig5(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig6(ctx: &ReproContext) -> String {
-    let analysis = NodeAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().nodes();
     let classes: [FailureClass; 6] = [
         FailureClass::Root(RootCause::Environment),
         FailureClass::Root(RootCause::Network),
@@ -282,7 +278,7 @@ pub(crate) fn fig6(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig7(ctx: &ReproContext) -> String {
-    let analysis = UsageAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().usage();
     let mut out = String::from("Fig 7: node failures vs usage\n");
     for id in JOB_LOG_SYSTEMS {
         let system = SystemId::new(id);
@@ -325,7 +321,7 @@ pub(crate) fn fig7(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig8(ctx: &ReproContext) -> String {
-    let analysis = UserAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().users();
     let mut out = String::from("Fig 8: node failures per processor-day, 50 heaviest users\n");
     for id in JOB_LOG_SYSTEMS {
         let system = SystemId::new(id);
@@ -365,7 +361,7 @@ pub(crate) fn fig8(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig9(ctx: &ReproContext) -> String {
-    let analysis = PowerAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().power();
     let shares = analysis.env_shares();
     let counts = analysis.env_breakdown();
     let mut t = Table::new(&["environment sub-cause", "count", "share"]);
@@ -383,7 +379,7 @@ pub(crate) fn fig9(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig10(ctx: &ReproContext) -> String {
-    let analysis = PowerAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().power();
     let mut out = String::from(
         "Fig 10 (left): P(hardware failure on the node within window after power problem)\n",
     );
@@ -422,7 +418,7 @@ pub(crate) fn fig10(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig11(ctx: &ReproContext) -> String {
-    let analysis = PowerAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().power();
     let mut out = String::from(
         "Fig 11 (left): P(software failure on the node within window after power problem)\n",
     );
@@ -461,7 +457,7 @@ pub(crate) fn fig11(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn sec7a2(ctx: &ReproContext) -> String {
-    let analysis = PowerAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().power();
     let mut t = Table::new(&[
         "trigger",
         "P(maint within month)",
@@ -486,7 +482,7 @@ pub(crate) fn sec7a2(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig12(ctx: &ReproContext) -> String {
-    let analysis = PowerAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().power();
     let system = SystemId::new(SCATTER_SYSTEM);
     let points = analysis.scatter(system);
     let mut out =
@@ -510,7 +506,7 @@ pub(crate) fn fig12(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig13(ctx: &ReproContext) -> String {
-    let analysis = TemperatureAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().temperature();
     let mut out = String::from(
         "Fig 13 (left): P(hardware failure within window after fan/chiller failure)\n",
     );
@@ -549,7 +545,7 @@ pub(crate) fn fig13(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn sec8a(ctx: &ReproContext) -> String {
-    let analysis = TemperatureAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().temperature();
     let system = SystemId::new(TEMP_SYSTEM);
     let targets = [
         ("hardware", FailureClass::Root(RootCause::Hardware)),
@@ -614,7 +610,7 @@ pub(crate) fn sec8a(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn fig14(ctx: &ReproContext) -> String {
-    let analysis = CosmicAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().cosmic();
     let mut out = String::from("Fig 14: monthly failure probability vs monthly neutron counts\n");
     let targets = [
         ("DRAM", FailureClass::Hw(HardwareComponent::MemoryDimm)),
@@ -655,7 +651,7 @@ pub(crate) fn fig14(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn tab1(ctx: &ReproContext) -> String {
-    let study = RegressionStudy::new(ctx.trace());
+    let study = ctx.engine().regression();
     let rows = study.features(SystemId::new(TEMP_SYSTEM));
     let mut out = format!(
         "Table I: regression variables (system {TEMP_SYSTEM}; {} node rows)\n",
@@ -701,7 +697,7 @@ pub(crate) fn tab1(ctx: &ReproContext) -> String {
 }
 
 fn regression_table(ctx: &ReproContext, family: StudyFamily, title: &str) -> String {
-    let study = RegressionStudy::new(ctx.trace());
+    let study = ctx.engine().regression();
     let system = SystemId::new(TEMP_SYSTEM);
     match study.fit(system, family, false) {
         Ok(fit) => {
@@ -847,8 +843,8 @@ pub(crate) fn ablation(ctx: &ReproContext) -> String {
         "r(jobs, failures)",
     ]);
     for case in cases {
-        let store = spec.generate_with(seed, &case.options).into_store();
-        let correlation = CorrelationAnalysis::new(&store);
+        let engine = Engine::new(spec.generate_with(seed, &case.options).into_store());
+        let correlation = engine.correlation();
         let week = correlation.group_conditional(
             SystemGroup::Group1,
             FailureClass::Any,
@@ -863,14 +859,14 @@ pub(crate) fn ablation(ctx: &ReproContext) -> String {
             Window::Week,
             Scope::SameRack,
         );
-        let nodes = NodeAnalysis::new(&store);
+        let nodes = engine.nodes();
         let counts = nodes.failure_counts(SystemId::new(18));
         let avg = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
         let node0_ratio = counts.first().map_or(0.0, |&c| c as f64 / avg.max(1e-9));
         let env_share = {
             let mut env = 0u64;
             let mut total = 0u64;
-            for s in store.systems() {
+            for s in engine.trace().systems() {
                 for f in s.failures() {
                     total += 1;
                     if f.root_cause == RootCause::Environment {
@@ -880,8 +876,10 @@ pub(crate) fn ablation(ctx: &ReproContext) -> String {
             }
             env as f64 / total.max(1) as f64
         };
-        let usage = UsageAnalysis::new(&store);
-        let r = usage.jobs_failures_pearson(SystemId::new(20)).all_nodes;
+        let r = engine
+            .usage()
+            .jobs_failures_pearson(SystemId::new(20))
+            .all_nodes;
         t.row(&[
             case.name.to_owned(),
             factor(week.factor()),
@@ -903,8 +901,7 @@ pub(crate) fn ablation(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn interarrival(ctx: &ReproContext) -> String {
-    use hpcfail_core::interarrival::ArrivalAnalysis;
-    let analysis = ArrivalAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().arrivals();
     let mut out = String::from(
         "Extension: the statistical-model view — inter-arrival fits and autocorrelation\n\
          (the literature the paper positions itself against; Weibull/gamma shape < 1 and\n\
@@ -958,8 +955,7 @@ pub(crate) fn interarrival(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn availability(ctx: &ReproContext) -> String {
-    use hpcfail_core::availability::AvailabilityAnalysis;
-    let analysis = AvailabilityAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().availability();
     let mut out =
         String::from("Extension: availability report (MTBF / MTTR / downtime by root cause)\n");
     let mut t = Table::new(&[
@@ -988,13 +984,12 @@ pub(crate) fn availability(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn checkpoint(ctx: &ReproContext) -> String {
-    use hpcfail_core::availability::AvailabilityAnalysis;
     use hpcfail_core::checkpoint::{CheckpointPolicy, CheckpointSimulator};
 
     let sim = CheckpointSimulator::typical();
     // Tune the uniform baseline with the Young/Daly interval from the
     // measured group-1 node MTBF.
-    let availability = AvailabilityAnalysis::new(ctx.trace());
+    let availability = ctx.engine().availability();
     let mtbfs: Vec<f64> = ctx
         .trace()
         .group_systems(SystemGroup::Group1)
@@ -1073,7 +1068,7 @@ pub(crate) fn checkpoint(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn sec4c(ctx: &ReproContext) -> String {
-    let analysis = NodeAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().nodes();
     let mut out = String::from(
         "IV-C: does physical location predict failure rates? (chi-square, node 0 excluded)\n",
     );
@@ -1117,7 +1112,7 @@ pub(crate) fn sec4c(ctx: &ReproContext) -> String {
 }
 
 pub(crate) fn sweep(ctx: &ReproContext) -> String {
-    let analysis = CorrelationAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().correlation();
     let mut out = String::from(
         "Window x scope sweep: P(any follow-up | any failure), factor over random window\n",
     );
@@ -1150,7 +1145,7 @@ pub(crate) fn validate(ctx: &ReproContext) -> String {
     // Executable calibration targets: each band is the acceptable range
     // for a headline statistic at full scale (generous at smaller
     // scales, where event counts stay fixed while node counts shrink).
-    let analysis = CorrelationAnalysis::new(ctx.trace());
+    let analysis = ctx.engine().correlation();
     let loose = if ctx.scale() < 0.9 { 3.0 } else { 1.0 };
 
     struct Check {

@@ -17,14 +17,15 @@
 pub mod experiments;
 
 use hpcfail_core::channels::{missing_channels, Channel};
+use hpcfail_core::engine::Engine;
 use hpcfail_store::trace::Trace;
 use hpcfail_synth::spec::FleetSpec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// The shared context: one generated fleet.
+/// The shared context: one generated fleet behind one [`Engine`].
 #[derive(Debug, Clone)]
 pub struct ReproContext {
-    trace: Trace,
+    engine: Engine,
     seed: u64,
     scale: f64,
 }
@@ -43,7 +44,7 @@ impl ReproContext {
             FleetSpec::lanl_scaled(scale)
         };
         ReproContext {
-            trace: spec.generate(seed).into_store(),
+            engine: Engine::new(spec.generate(seed).into_store()),
             seed,
             scale,
         }
@@ -53,12 +54,22 @@ impl ReproContext {
     /// experiments run against real records instead of a generated
     /// fleet. `seed` and `scale` are recorded for report banners only.
     pub fn from_trace(trace: Trace, seed: u64, scale: f64) -> Self {
-        ReproContext { trace, seed, scale }
+        ReproContext {
+            engine: Engine::new(trace),
+            seed,
+            scale,
+        }
+    }
+
+    /// The analysis engine over the generated trace; every experiment
+    /// reaches its per-analysis view through this single entry point.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The generated trace.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.engine.trace()
     }
 
     /// The generation seed.

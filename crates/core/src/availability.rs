@@ -57,7 +57,14 @@ pub struct AvailabilityAnalysis<'a> {
 
 impl<'a> AvailabilityAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::availability` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        AvailabilityAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::availability`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         AvailabilityAnalysis { trace }
     }
 
@@ -178,7 +185,7 @@ mod tests {
     #[test]
     fn report_by_hand() {
         let trace = build();
-        let r = AvailabilityAnalysis::new(&trace)
+        let r = AvailabilityAnalysis::over(&trace)
             .report(SystemId::new(20))
             .unwrap();
         assert_eq!(r.failures, 4);
@@ -195,7 +202,7 @@ mod tests {
     #[test]
     fn nines_computation() {
         let trace = build();
-        let r = AvailabilityAnalysis::new(&trace)
+        let r = AvailabilityAnalysis::over(&trace)
             .report(SystemId::new(20))
             .unwrap();
         // availability 0.9995 -> ~3.3 nines.
@@ -218,7 +225,7 @@ mod tests {
         };
         let mut trace = Trace::new();
         trace.insert_system(SystemTraceBuilder::new(config).build());
-        let r = AvailabilityAnalysis::new(&trace)
+        let r = AvailabilityAnalysis::over(&trace)
             .report(SystemId::new(9))
             .unwrap();
         assert_eq!(r.failures, 0);
@@ -231,9 +238,9 @@ mod tests {
     #[test]
     fn unknown_system_none() {
         let trace = build();
-        assert!(AvailabilityAnalysis::new(&trace)
+        assert!(AvailabilityAnalysis::over(&trace)
             .report(SystemId::new(99))
             .is_none());
-        assert_eq!(AvailabilityAnalysis::new(&trace).all_reports().len(), 1);
+        assert_eq!(AvailabilityAnalysis::over(&trace).all_reports().len(), 1);
     }
 }

@@ -39,12 +39,51 @@ impl Scope {
     }
 }
 
+impl std::fmt::Display for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`Scope`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScopeError(String);
+
+impl std::fmt::Display for ParseScopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scope {:?}, expected same-node, same-rack or same-system",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScopeError {}
+
+impl std::str::FromStr for Scope {
+    type Err = ParseScopeError;
+
+    /// Accepts the label form (`same-node`) with `-`/`_`/space treated
+    /// interchangeably, plus the bare short forms `node`/`rack`/`system`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut key = s.to_ascii_lowercase();
+        key.retain(|c| !matches!(c, '-' | '_' | ' '));
+        match key.as_str() {
+            "samenode" | "node" => Ok(Scope::SameNode),
+            "samerack" | "rack" => Ok(Scope::SameRack),
+            "samesystem" | "system" => Ok(Scope::SameSystem),
+            _ => Err(ParseScopeError(s.to_owned())),
+        }
+    }
+}
+
 /// The Section III correlation analysis over a trace.
 ///
 /// # Examples
 ///
 /// ```
-/// use hpcfail_core::correlation::{CorrelationAnalysis, Scope};
+/// use hpcfail_core::correlation::Scope;
 /// use hpcfail_store::trace::{SystemTraceBuilder, Trace};
 /// use hpcfail_types::prelude::*;
 ///
@@ -64,7 +103,8 @@ impl Scope {
 /// let mut trace = Trace::new();
 /// trace.insert_system(builder.build());
 ///
-/// let analysis = CorrelationAnalysis::new(&trace);
+/// let engine = hpcfail_core::engine::Engine::new(trace);
+/// let analysis = engine.correlation();
 /// let e = analysis.system_conditional(
 ///     SystemId::new(1),
 ///     FailureClass::Any,
@@ -84,7 +124,14 @@ pub struct CorrelationAnalysis<'a> {
 
 impl<'a> CorrelationAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::correlation` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        CorrelationAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::correlation`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         CorrelationAnalysis { trace }
     }
 
@@ -352,7 +399,7 @@ mod tests {
         }
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let a = CorrelationAnalysis::new(&trace);
+        let a = CorrelationAnalysis::over(&trace);
         let e = a.system_conditional(
             SystemId::new(1),
             FailureClass::Any,
@@ -372,7 +419,7 @@ mod tests {
         b.push_failure(failure(1, 0, 98.0, RootCause::Hardware)); // week not observed
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let a = CorrelationAnalysis::new(&trace);
+        let a = CorrelationAnalysis::over(&trace);
         let e = a.system_conditional(
             SystemId::new(1),
             FailureClass::Any,
@@ -404,7 +451,7 @@ mod tests {
         b.push_failure(failure(1, 7, 11.0, RootCause::Hardware));
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let a = CorrelationAnalysis::new(&trace);
+        let a = CorrelationAnalysis::over(&trace);
         let e = a.system_conditional(
             SystemId::new(1),
             FailureClass::Root(RootCause::Network),
@@ -423,7 +470,7 @@ mod tests {
         b.push_failure(failure(1, 0, 10.0, RootCause::Network));
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let e = CorrelationAnalysis::new(&trace).system_conditional(
+        let e = CorrelationAnalysis::over(&trace).system_conditional(
             SystemId::new(1),
             FailureClass::Any,
             FailureClass::Any,
@@ -441,7 +488,7 @@ mod tests {
         b.push_failure(failure(1, 2, 12.0, RootCause::Hardware));
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let e = CorrelationAnalysis::new(&trace).system_conditional(
+        let e = CorrelationAnalysis::over(&trace).system_conditional(
             SystemId::new(1),
             FailureClass::Root(RootCause::Software),
             FailureClass::Any,
@@ -463,7 +510,7 @@ mod tests {
             b.push_failure(failure(id, 0, 11.0, RootCause::Hardware));
             trace.insert_system(b.build());
         }
-        let a = CorrelationAnalysis::new(&trace);
+        let a = CorrelationAnalysis::over(&trace);
         let pooled = a.group_conditional(
             SystemGroup::Group1,
             FailureClass::Any,
@@ -490,7 +537,7 @@ mod tests {
         let mut b = SystemTraceBuilder::new(config(1, 2, 50.0, false));
         b.push_failure(failure(1, 0, 10.0, RootCause::Hardware));
         trace.insert_system(b.build());
-        let a = CorrelationAnalysis::new(&trace);
+        let a = CorrelationAnalysis::over(&trace);
         let bars = a.figure_any_followup(SystemGroup::Group1, Window::Week, Scope::SameNode);
         assert_eq!(bars.len(), 8);
         assert_eq!(bars[1].0, FailureClass::Root(RootCause::Hardware));

@@ -31,7 +31,14 @@ pub struct CosmicAnalysis<'a> {
 
 impl<'a> CosmicAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::cosmic` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        CosmicAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::cosmic`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         CosmicAnalysis { trace }
     }
 
@@ -205,7 +212,7 @@ mod tests {
     #[test]
     fn monthly_flux_aggregation() {
         let trace = build();
-        let a = CosmicAnalysis::new(&trace);
+        let a = CosmicAnalysis::over(&trace);
         let flux = a.monthly_flux();
         assert_eq!(flux.len(), 10);
         assert_eq!(flux[&0], 3600.0);
@@ -215,7 +222,7 @@ mod tests {
     #[test]
     fn series_pairs_months_with_flux() {
         let trace = build();
-        let a = CosmicAnalysis::new(&trace);
+        let a = CosmicAnalysis::over(&trace);
         let cpu = a.monthly_series(SystemId::new(18), FailureClass::Hw(HardwareComponent::Cpu));
         assert_eq!(cpu.len(), 10);
         // High months: 3 of 10 nodes failed.
@@ -234,7 +241,7 @@ mod tests {
     #[test]
     fn cpu_correlates_dram_does_not() {
         let trace = build();
-        let a = CosmicAnalysis::new(&trace);
+        let a = CosmicAnalysis::over(&trace);
         let cpu = a
             .flux_correlation(SystemId::new(18), FailureClass::Hw(HardwareComponent::Cpu))
             .unwrap();
@@ -251,7 +258,7 @@ mod tests {
     #[test]
     fn rank_correlation_same_direction() {
         let trace = build();
-        let a = CosmicAnalysis::new(&trace);
+        let a = CosmicAnalysis::over(&trace);
         let cpu = a
             .flux_rank_correlation(SystemId::new(18), FailureClass::Hw(HardwareComponent::Cpu))
             .unwrap();
@@ -261,7 +268,7 @@ mod tests {
     #[test]
     fn binned_series_collapses_to_two_levels() {
         let trace = build();
-        let a = CosmicAnalysis::new(&trace);
+        let a = CosmicAnalysis::over(&trace);
         let bins = a.binned_series(
             SystemId::new(18),
             FailureClass::Hw(HardwareComponent::Cpu),
@@ -275,7 +282,7 @@ mod tests {
     #[test]
     fn unknown_system_empty() {
         let trace = build();
-        let a = CosmicAnalysis::new(&trace);
+        let a = CosmicAnalysis::over(&trace);
         assert!(a
             .monthly_series(SystemId::new(99), FailureClass::Any)
             .is_empty());

@@ -1,0 +1,518 @@
+//! Typed answers returned by [`crate::engine::Engine::run`].
+//!
+//! Each [`AnalysisResult`] variant mirrors one
+//! [`crate::engine::AnalysisRequest`] variant. Results serialize to
+//! JSON with [`AnalysisResult::to_json`]; the pretty form of that JSON
+//! is exactly what `hpcfail-serve` puts on the wire, so a served
+//! answer is byte-identical to a direct in-process call.
+
+use crate::availability::AvailabilityReport;
+use crate::checkpoint::CheckpointOutcome;
+use crate::estimate::ConditionalEstimate;
+use crate::interarrival::ArrivalProfile;
+use crate::nodes::NodeVsRest;
+use crate::pairwise::SameTypeSummary;
+use crate::predict::AlarmEvaluation;
+use crate::usage::UsageCorrelation;
+use crate::users::UserStat;
+use hpcfail_obs::json::Json;
+use hpcfail_stats::glm::{Coefficient, Family, GlmFit};
+use hpcfail_stats::htest::TestResult;
+use hpcfail_stats::proportion::Proportion;
+use hpcfail_types::prelude::*;
+
+/// Trace metadata answered by `trace-summary`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Raw ids of the systems in the trace, ascending.
+    pub systems: Vec<u16>,
+    /// Total failure records across all systems.
+    pub failures: u64,
+    /// The engine's trace fingerprint, as 16 lowercase hex digits.
+    pub fingerprint: String,
+}
+
+/// One root cause's share of a node set's failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootShare {
+    /// The root cause.
+    pub root: RootCause,
+    /// Fraction of the pooled failures attributed to it.
+    pub share: f64,
+}
+
+/// One environmental sub-cause's share of the fleet's environmental
+/// failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvShare {
+    /// The sub-cause.
+    pub cause: EnvironmentCause,
+    /// Failures attributed to it.
+    pub count: u64,
+    /// Its fraction of all environmental failures.
+    pub share: f64,
+}
+
+/// The three Section V correlations of Figure 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageSummary {
+    /// Pearson correlation of job count with failures.
+    pub jobs_pearson: UsageCorrelation,
+    /// Pearson correlation of utilization with failures.
+    pub util_pearson: UsageCorrelation,
+    /// Spearman rank correlation of job count with failures.
+    pub jobs_spearman: UsageCorrelation,
+}
+
+/// Section VI user statistics with the heterogeneity test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserSummary {
+    /// The requested users, heaviest first.
+    pub stats: Vec<UserStat>,
+    /// Chi-square test of "failure exposure is homogeneous across
+    /// these users"; `None` with too few users.
+    pub heterogeneity: Option<TestResult>,
+}
+
+/// A GLM fit without the per-observation fitted means (those are
+/// data-sized and not wire material).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlmSummary {
+    /// Family label: `"poisson"` or `"negative-binomial"`.
+    pub family: String,
+    /// The NB dispersion, when the family is negative binomial.
+    pub theta: Option<f64>,
+    /// Observations.
+    pub n: usize,
+    /// IRLS iterations.
+    pub iterations: usize,
+    /// Residual deviance.
+    pub deviance: f64,
+    /// Intercept-only deviance.
+    pub null_deviance: f64,
+    /// Maximized log-likelihood.
+    pub log_likelihood: f64,
+    /// Akaike information criterion.
+    pub aic: f64,
+    /// Coefficient table, intercept first.
+    pub coefficients: Vec<Coefficient>,
+}
+
+impl GlmSummary {
+    /// Summarizes a fit for the wire, dropping `fitted`.
+    pub fn from_fit(fit: &GlmFit) -> Self {
+        let (family, theta) = match fit.family {
+            Family::Poisson => ("poisson".to_owned(), None),
+            Family::NegativeBinomial { theta } => ("negative-binomial".to_owned(), Some(theta)),
+        };
+        GlmSummary {
+            family,
+            theta,
+            n: fit.n,
+            iterations: fit.iterations,
+            deviance: fit.deviance,
+            null_deviance: fit.null_deviance,
+            log_likelihood: fit.log_likelihood,
+            aic: fit.aic,
+            coefficients: fit.coefficients.clone(),
+        }
+    }
+}
+
+/// The Section IX flux/failure association.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosmicSummary {
+    /// Months with both flux and observation data.
+    pub months: usize,
+    /// Pearson correlation of monthly failure probability with flux.
+    pub pearson: Option<f64>,
+    /// Spearman rank correlation of the same series.
+    pub spearman: Option<f64>,
+}
+
+/// One ranked distribution fit, with the distribution rendered as its
+/// display string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitSummary {
+    /// e.g. `"weibull(shape=0.78, scale=12.3)"`.
+    pub dist: String,
+    /// Maximized log-likelihood.
+    pub log_likelihood: f64,
+    /// Akaike information criterion (lower is better).
+    pub aic: f64,
+    /// KS statistic against the sample.
+    pub ks_statistic: f64,
+    /// Asymptotic KS p-value.
+    pub ks_p_value: f64,
+}
+
+/// An inter-arrival profile summarized for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSummary {
+    /// The system's raw id.
+    pub system: u16,
+    /// Inter-arrival gaps analyzed.
+    pub gaps: usize,
+    /// Mean time between failures, hours.
+    pub mtbf_hours: f64,
+    /// Candidate fits ranked by AIC, best first.
+    pub fits: Vec<FitSummary>,
+    /// Autocorrelation of daily counts at lags 1..=7.
+    pub daily_acf: Vec<f64>,
+    /// Ljung-Box test of "no autocorrelation up to lag 7".
+    pub ljung_box: TestResult,
+    /// Whether the Ljung-Box test flags clustering at 5%.
+    pub clustering: bool,
+}
+
+impl ArrivalSummary {
+    /// Summarizes a profile for the wire.
+    pub fn from_profile(profile: &ArrivalProfile) -> Self {
+        ArrivalSummary {
+            system: profile.system.raw(),
+            gaps: profile.gaps,
+            mtbf_hours: profile.mtbf_hours,
+            fits: profile
+                .fits
+                .iter()
+                .map(|f| FitSummary {
+                    dist: f.dist.to_string(),
+                    log_likelihood: f.log_likelihood,
+                    aic: f.aic,
+                    ks_statistic: f.ks_statistic,
+                    ks_p_value: f.ks_p_value,
+                })
+                .collect(),
+            daily_acf: profile.daily_acf.clone(),
+            ljung_box: profile.ljung_box,
+            clustering: profile.clustering_detected(),
+        }
+    }
+}
+
+/// The typed answer to one [`crate::engine::AnalysisRequest`].
+///
+/// Analyses that can legitimately fail on a given trace (regressions
+/// on degenerate data, arrival profiles with too few gaps) embed the
+/// error as a `Result<_, String>` instead of failing the whole
+/// request: a served query then still returns 200 with the error in
+/// the body, which keeps batch responses aligned with their requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisResult {
+    /// Answer to `trace-summary`.
+    TraceSummary(TraceSummary),
+    /// Answer to `conditional`, `fleet-conditional` and
+    /// `power-conditional` requests, and `maintenance-after-power`.
+    Conditional(ConditionalEstimate),
+    /// Answer to `same-type-summaries`.
+    SameType(Vec<SameTypeSummary>),
+    /// Answer to `node-failure-counts`.
+    NodeFailureCounts(Vec<u64>),
+    /// Answer to `equal-rates-test`; `None` when the system is unknown
+    /// or has fewer than two nodes.
+    Test(Option<TestResult>),
+    /// Answer to `node-vs-rest`.
+    NodeVsRest(NodeVsRest),
+    /// Answer to `root-cause-shares`.
+    RootCauseShares(Vec<RootShare>),
+    /// Answer to `usage-correlations`.
+    Usage(UsageSummary),
+    /// Answer to `heaviest-users`.
+    Users(UserSummary),
+    /// Answer to `env-breakdown`.
+    EnvBreakdown(Vec<EnvShare>),
+    /// Answer to `temperature-regression` and `regression-study`.
+    Glm(Result<GlmSummary, String>),
+    /// Answer to `cosmic-correlation`.
+    Cosmic(CosmicSummary),
+    /// Answer to `arrival-profile`.
+    Arrival(Result<ArrivalSummary, String>),
+    /// Answer to `alarm-evaluation`.
+    Alarm(AlarmEvaluation),
+    /// Answer to `checkpoint-replay`.
+    Checkpoint(CheckpointOutcome),
+    /// Answer to `availability`; one report per qualifying system.
+    Availability(Vec<AvailabilityReport>),
+}
+
+impl AnalysisResult {
+    /// The wire discriminator emitted as the `"result"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnalysisResult::TraceSummary(_) => "trace-summary",
+            AnalysisResult::Conditional(_) => "conditional",
+            AnalysisResult::SameType(_) => "same-type-summaries",
+            AnalysisResult::NodeFailureCounts(_) => "node-failure-counts",
+            AnalysisResult::Test(_) => "test",
+            AnalysisResult::NodeVsRest(_) => "node-vs-rest",
+            AnalysisResult::RootCauseShares(_) => "root-cause-shares",
+            AnalysisResult::Usage(_) => "usage-correlations",
+            AnalysisResult::Users(_) => "users",
+            AnalysisResult::EnvBreakdown(_) => "env-breakdown",
+            AnalysisResult::Glm(_) => "glm",
+            AnalysisResult::Cosmic(_) => "cosmic-correlation",
+            AnalysisResult::Arrival(_) => "arrival-profile",
+            AnalysisResult::Alarm(_) => "alarm-evaluation",
+            AnalysisResult::Checkpoint(_) => "checkpoint-replay",
+            AnalysisResult::Availability(_) => "availability",
+        }
+    }
+
+    /// The JSON wire form. Object keys serialize sorted and numbers
+    /// deterministically, so equal results produce equal bytes.
+    pub fn to_json(&self) -> Json {
+        let body = match self {
+            AnalysisResult::TraceSummary(s) => Json::obj([
+                (
+                    "systems",
+                    Json::Arr(
+                        s.systems
+                            .iter()
+                            .map(|&id| Json::Num(f64::from(id)))
+                            .collect(),
+                    ),
+                ),
+                ("failures", Json::Num(s.failures as f64)),
+                ("fingerprint", Json::Str(s.fingerprint.clone())),
+            ]),
+            AnalysisResult::Conditional(est) => estimate_json(est),
+            AnalysisResult::SameType(summaries) => Json::Arr(
+                summaries
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("class", Json::Str(s.class.wire())),
+                            ("after_same_type", estimate_json(&s.after_same_type)),
+                            ("after_any", estimate_json(&s.after_any)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            AnalysisResult::NodeFailureCounts(counts) => {
+                Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect())
+            }
+            AnalysisResult::Test(test) => option_json(test.as_ref().map(test_json)),
+            AnalysisResult::NodeVsRest(nvr) => Json::obj([
+                ("node", proportion_json(&nvr.node)),
+                ("rest", proportion_json(&nvr.rest)),
+            ]),
+            AnalysisResult::RootCauseShares(shares) => Json::Arr(
+                shares
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("root", Json::Str(s.root.label().to_owned())),
+                            ("share", Json::Num(s.share)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            AnalysisResult::Usage(u) => Json::obj([
+                ("jobs_pearson", usage_corr_json(&u.jobs_pearson)),
+                ("util_pearson", usage_corr_json(&u.util_pearson)),
+                ("jobs_spearman", usage_corr_json(&u.jobs_spearman)),
+            ]),
+            AnalysisResult::Users(u) => Json::obj([
+                (
+                    "stats",
+                    Json::Arr(
+                        u.stats
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("user", Json::Num(f64::from(s.user.raw()))),
+                                    ("processor_days", Json::Num(s.processor_days)),
+                                    ("jobs", Json::Num(s.jobs as f64)),
+                                    ("node_failures", Json::Num(s.node_failures as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "heterogeneity",
+                    option_json(u.heterogeneity.as_ref().map(test_json)),
+                ),
+            ]),
+            AnalysisResult::EnvBreakdown(shares) => Json::Arr(
+                shares
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("cause", Json::Str(s.cause.label().to_owned())),
+                            ("count", Json::Num(s.count as f64)),
+                            ("share", Json::Num(s.share)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            AnalysisResult::Glm(fit) => match fit {
+                Ok(summary) => Json::obj([("fit", glm_json(summary))]),
+                Err(message) => Json::obj([("error", Json::Str(message.clone()))]),
+            },
+            AnalysisResult::Cosmic(c) => Json::obj([
+                ("months", Json::Num(c.months as f64)),
+                ("pearson", option_json(c.pearson.map(Json::Num))),
+                ("spearman", option_json(c.spearman.map(Json::Num))),
+            ]),
+            AnalysisResult::Arrival(profile) => match profile {
+                Ok(summary) => Json::obj([("profile", arrival_json(summary))]),
+                Err(message) => Json::obj([("error", Json::Str(message.clone()))]),
+            },
+            AnalysisResult::Alarm(eval) => Json::obj([
+                ("alarms", Json::Num(eval.alarms as f64)),
+                ("correct_alarms", Json::Num(eval.correct_alarms as f64)),
+                ("caught_failures", Json::Num(eval.caught_failures as f64)),
+                ("total_failures", Json::Num(eval.total_failures as f64)),
+                ("flagged_seconds", Json::Num(eval.flagged_seconds as f64)),
+                ("total_seconds", Json::Num(eval.total_seconds as f64)),
+                ("precision", Json::Num(eval.precision())),
+                ("recall", Json::Num(eval.recall())),
+                ("flagged_fraction", Json::Num(eval.flagged_fraction())),
+            ]),
+            AnalysisResult::Checkpoint(outcome) => Json::obj([
+                ("checkpoint_hours", Json::Num(outcome.checkpoint_hours)),
+                ("lost_hours", Json::Num(outcome.lost_hours)),
+                ("restart_hours", Json::Num(outcome.restart_hours)),
+                ("total_hours", Json::Num(outcome.total_hours)),
+                ("failures", Json::Num(outcome.failures as f64)),
+                ("goodput", Json::Num(outcome.goodput())),
+            ]),
+            AnalysisResult::Availability(reports) => {
+                Json::Arr(reports.iter().map(availability_json).collect())
+            }
+        };
+        Json::obj([
+            ("result", Json::Str(self.kind().to_owned())),
+            ("data", body),
+        ])
+    }
+}
+
+fn option_json(value: Option<Json>) -> Json {
+    value.unwrap_or(Json::Null)
+}
+
+fn proportion_json(p: &Proportion) -> Json {
+    Json::obj([
+        ("estimate", Json::Num(p.estimate())),
+        ("successes", Json::Num(p.successes() as f64)),
+        ("trials", Json::Num(p.trials() as f64)),
+    ])
+}
+
+fn estimate_json(est: &ConditionalEstimate) -> Json {
+    let test = if est.is_empty() {
+        Json::Null
+    } else {
+        let t = est.test();
+        Json::obj([("z", Json::Num(t.z)), ("p_value", Json::Num(t.p_value))])
+    };
+    Json::obj([
+        ("conditional", proportion_json(&est.conditional)),
+        ("baseline", proportion_json(&est.baseline)),
+        ("factor", option_json(est.factor().map(Json::Num))),
+        ("test", test),
+    ])
+}
+
+fn test_json(t: &TestResult) -> Json {
+    Json::obj([
+        ("statistic", Json::Num(t.statistic)),
+        ("df", Json::Num(t.df)),
+        ("p_value", Json::Num(t.p_value)),
+    ])
+}
+
+fn usage_corr_json(c: &UsageCorrelation) -> Json {
+    Json::obj([
+        ("all_nodes", option_json(c.all_nodes.map(Json::Num))),
+        ("without_node0", option_json(c.without_node0.map(Json::Num))),
+    ])
+}
+
+fn coefficient_json(c: &Coefficient) -> Json {
+    Json::obj([
+        ("name", Json::Str(c.name.clone())),
+        ("estimate", Json::Num(c.estimate)),
+        ("std_error", Json::Num(c.std_error)),
+        ("z_value", Json::Num(c.z_value)),
+        ("p_value", Json::Num(c.p_value)),
+    ])
+}
+
+fn glm_json(s: &GlmSummary) -> Json {
+    Json::obj([
+        ("family", Json::Str(s.family.clone())),
+        ("theta", option_json(s.theta.map(Json::Num))),
+        ("n", Json::Num(s.n as f64)),
+        ("iterations", Json::Num(s.iterations as f64)),
+        ("deviance", Json::Num(s.deviance)),
+        ("null_deviance", Json::Num(s.null_deviance)),
+        ("log_likelihood", Json::Num(s.log_likelihood)),
+        ("aic", Json::Num(s.aic)),
+        (
+            "coefficients",
+            Json::Arr(s.coefficients.iter().map(coefficient_json).collect()),
+        ),
+    ])
+}
+
+fn arrival_json(s: &ArrivalSummary) -> Json {
+    Json::obj([
+        ("system", Json::Num(f64::from(s.system))),
+        ("gaps", Json::Num(s.gaps as f64)),
+        ("mtbf_hours", Json::Num(s.mtbf_hours)),
+        (
+            "fits",
+            Json::Arr(
+                s.fits
+                    .iter()
+                    .map(|f| {
+                        Json::obj([
+                            ("dist", Json::Str(f.dist.clone())),
+                            ("log_likelihood", Json::Num(f.log_likelihood)),
+                            ("aic", Json::Num(f.aic)),
+                            ("ks_statistic", Json::Num(f.ks_statistic)),
+                            ("ks_p_value", Json::Num(f.ks_p_value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "daily_acf",
+            Json::Arr(s.daily_acf.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        ("ljung_box", test_json(&s.ljung_box)),
+        ("clustering", Json::Bool(s.clustering)),
+    ])
+}
+
+fn availability_json(r: &AvailabilityReport) -> Json {
+    Json::obj([
+        ("system", Json::Num(f64::from(r.system.raw()))),
+        (
+            "failures_with_downtime",
+            Json::Num(r.failures_with_downtime as f64),
+        ),
+        ("failures", Json::Num(r.failures as f64)),
+        ("node_mtbf_hours", Json::Num(r.node_mtbf_hours)),
+        ("mttr_hours", Json::Num(r.mttr_hours)),
+        ("availability", Json::Num(r.availability)),
+        (
+            "downtime_by_root",
+            Json::Arr(
+                r.downtime_by_root
+                    .iter()
+                    .map(|(root, hours)| {
+                        Json::obj([
+                            ("root", Json::Str(root.label().to_owned())),
+                            ("hours", Json::Num(*hours)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

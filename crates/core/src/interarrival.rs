@@ -60,7 +60,14 @@ pub struct ArrivalAnalysis<'a> {
 
 impl<'a> ArrivalAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::arrivals` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        ArrivalAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::arrivals`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         ArrivalAnalysis { trace }
     }
 
@@ -220,7 +227,7 @@ mod tests {
         let d = hpcfail_stats::dist::Exponential::new(1.0 / 24.0);
         let gaps: Vec<f64> = (0..1500).map(|_| d.sample(&mut rng)).collect();
         let trace = trace_with_gaps(&gaps);
-        let profile = ArrivalAnalysis::new(&trace)
+        let profile = ArrivalAnalysis::over(&trace)
             .profile(SystemId::new(1), FailureClass::Any)
             .unwrap();
         assert!(profile.gaps > 1000);
@@ -239,7 +246,7 @@ mod tests {
         let d = hpcfail_stats::dist::Weibull::new(0.55, 24.0);
         let gaps: Vec<f64> = (0..1500).map(|_| d.sample(&mut rng).max(0.01)).collect();
         let trace = trace_with_gaps(&gaps);
-        let profile = ArrivalAnalysis::new(&trace)
+        let profile = ArrivalAnalysis::over(&trace)
             .profile(SystemId::new(1), FailureClass::Any)
             .unwrap();
         assert!(profile.clustering_detected());
@@ -249,7 +256,7 @@ mod tests {
     #[test]
     fn too_few_failures_is_an_error() {
         let trace = trace_with_gaps(&[24.0, 48.0]);
-        let err = ArrivalAnalysis::new(&trace)
+        let err = ArrivalAnalysis::over(&trace)
             .profile(SystemId::new(1), FailureClass::Any)
             .unwrap_err();
         assert!(err.to_string().contains("not enough data"), "{err}");
@@ -258,7 +265,7 @@ mod tests {
     #[test]
     fn unknown_system_is_an_error() {
         let trace = trace_with_gaps(&[24.0; 100]);
-        assert!(ArrivalAnalysis::new(&trace)
+        assert!(ArrivalAnalysis::over(&trace)
             .profile(SystemId::new(42), FailureClass::Any)
             .is_err());
     }
@@ -269,7 +276,7 @@ mod tests {
         let d = hpcfail_stats::dist::Exponential::new(1.0 / 10.0);
         let gaps: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
         let trace = trace_with_gaps(&gaps);
-        let profile = ArrivalAnalysis::new(&trace)
+        let profile = ArrivalAnalysis::over(&trace)
             .profile(SystemId::new(1), FailureClass::Any)
             .unwrap();
         assert_eq!(profile.daily_acf.len(), 7);

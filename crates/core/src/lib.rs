@@ -33,6 +33,7 @@ pub mod channels;
 pub mod checkpoint;
 pub mod correlation;
 pub mod cosmic;
+pub mod engine;
 pub mod estimate;
 pub mod interarrival;
 pub mod nodes;
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crate::checkpoint::{CheckpointPolicy, CheckpointSimulator};
     pub use crate::correlation::{CorrelationAnalysis, Scope};
     pub use crate::cosmic::CosmicAnalysis;
+    pub use crate::engine::{AnalysisRequest, AnalysisResult, Engine};
     pub use crate::estimate::ConditionalEstimate;
     pub use crate::interarrival::ArrivalAnalysis;
     pub use crate::nodes::NodeAnalysis;

@@ -38,7 +38,14 @@ pub struct NodeAnalysis<'a> {
 
 impl<'a> NodeAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::nodes` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        NodeAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::nodes`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         NodeAnalysis { trace }
     }
 
@@ -256,7 +263,7 @@ mod tests {
     #[test]
     fn failure_counts_per_node() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let counts = a.failure_counts(SystemId::new(20));
         assert_eq!(counts.len(), 10);
         assert_eq!(counts[0], 20);
@@ -270,7 +277,7 @@ mod tests {
     #[test]
     fn equal_rates_rejected_then_not() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let all = a
             .equal_rates_test(SystemId::new(20), FailureClass::Any, &[])
             .unwrap();
@@ -285,7 +292,7 @@ mod tests {
     #[test]
     fn root_cause_shares_shift() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let node0 = a.root_cause_shares(SystemId::new(20), &[NodeId::new(0)]);
         let rest = a.root_cause_shares(
             SystemId::new(20),
@@ -299,7 +306,7 @@ mod tests {
     #[test]
     fn shares_sum_to_one() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let all_nodes: Vec<NodeId> = (0..10).map(NodeId::new).collect();
         let shares = a.root_cause_shares(SystemId::new(20), &all_nodes);
         let total: f64 = shares.values().sum();
@@ -309,7 +316,7 @@ mod tests {
     #[test]
     fn node_vs_rest_probabilities() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let cmp = a.node_vs_rest(
             SystemId::new(20),
             NodeId::new(0),
@@ -328,7 +335,7 @@ mod tests {
     #[test]
     fn per_type_test_only_where_type_skews() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let sw = a
             .equal_rates_test(
                 SystemId::new(20),
@@ -395,7 +402,7 @@ mod tests {
     #[test]
     fn no_position_effect_when_uniform() {
         let trace = with_layout([2, 2, 2, 2, 2]);
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let t = a.position_in_rack_effect(SystemId::new(18)).unwrap();
         assert!(!t.significant_at(0.05), "p = {}", t.p_value);
         let t = a.room_row_effect(SystemId::new(18)).unwrap();
@@ -406,7 +413,7 @@ mod tests {
     fn planted_position_effect_detected() {
         // Top slot fails 8x as often.
         let trace = with_layout([1, 1, 1, 1, 8]);
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         let t = a.position_in_rack_effect(SystemId::new(18)).unwrap();
         assert!(t.significant_at(0.01), "p = {}", t.p_value);
     }
@@ -414,14 +421,14 @@ mod tests {
     #[test]
     fn location_effect_needs_layout() {
         let trace = skewed_trace(); // no layout
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         assert!(a.position_in_rack_effect(SystemId::new(20)).is_none());
     }
 
     #[test]
     fn unknown_system_is_empty() {
         let trace = skewed_trace();
-        let a = NodeAnalysis::new(&trace);
+        let a = NodeAnalysis::over(&trace);
         assert!(a.failure_counts(SystemId::new(99)).is_empty());
         assert!(a.most_failure_prone(SystemId::new(99)).is_none());
         assert!(a

@@ -42,9 +42,16 @@ pub struct PairwiseAnalysis<'a> {
 
 impl<'a> PairwiseAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::pairwise` instead")]
     pub fn new(trace: &'a hpcfail_store::trace::Trace) -> Self {
+        PairwiseAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::pairwise`].
+    pub(crate) fn over(trace: &'a hpcfail_store::trace::Trace) -> Self {
         PairwiseAnalysis {
-            correlation: CorrelationAnalysis::new(trace),
+            correlation: CorrelationAnalysis::over(trace),
         }
     }
 
@@ -144,7 +151,7 @@ mod tests {
             (1, 100.0, RootCause::Hardware),
             (2, 140.0, RootCause::Hardware),
         ]);
-        let a = PairwiseAnalysis::new(&trace);
+        let a = PairwiseAnalysis::over(&trace);
         let classes = [
             FailureClass::Root(RootCause::Network),
             FailureClass::Root(RootCause::Hardware),
@@ -165,7 +172,7 @@ mod tests {
             (0, 10.0, RootCause::Software),
             (0, 12.0, RootCause::Software),
         ]);
-        let a = PairwiseAnalysis::new(&trace);
+        let a = PairwiseAnalysis::over(&trace);
         let rows = a.same_type_summaries(SystemGroup::Group1, Window::Week, Scope::SameNode);
         assert_eq!(rows.len(), 8);
         let sw = rows
@@ -190,7 +197,7 @@ mod tests {
             (2, 120.0, RootCause::Hardware),
             (3, 160.0, RootCause::HumanError),
         ]);
-        let a = PairwiseAnalysis::new(&trace);
+        let a = PairwiseAnalysis::over(&trace);
         let rows = a.same_type_summaries(SystemGroup::Group1, Window::Week, Scope::SameNode);
         let net = rows
             .iter()

@@ -67,6 +67,47 @@ impl PowerProblem {
     }
 }
 
+impl std::fmt::Display for PowerProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`PowerProblem`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePowerProblemError(String);
+
+impl std::fmt::Display for ParsePowerProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown power problem {:?}, expected PowerOutage, PowerSpike, \
+             PowerSupplyFail or UPSFail",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePowerProblemError {}
+
+impl std::str::FromStr for PowerProblem {
+    type Err = ParsePowerProblemError;
+
+    /// Accepts the figure labels case-insensitively, with or without
+    /// the `Fail` suffix, plus the bare short forms `outage`/`spike`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut key = s.to_ascii_lowercase();
+        key.retain(|c| !matches!(c, '-' | '_' | ' '));
+        match key.strip_suffix("fail").unwrap_or(&key) {
+            "poweroutage" | "outage" => Ok(PowerProblem::Outage),
+            "powerspike" | "spike" => Ok(PowerProblem::Spike),
+            "powersupply" | "psu" => Ok(PowerProblem::PowerSupply),
+            "ups" => Ok(PowerProblem::Ups),
+            _ => Err(ParsePowerProblemError(s.to_owned())),
+        }
+    }
+}
+
 /// The hardware components Figure 10 (right) reports.
 pub const FIG10_COMPONENTS: [HardwareComponent; 5] = [
     HardwareComponent::PowerSupply,
@@ -85,10 +126,17 @@ pub struct PowerAnalysis<'a> {
 
 impl<'a> PowerAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::power` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        PowerAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::power`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         PowerAnalysis {
             trace,
-            correlation: CorrelationAnalysis::new(trace),
+            correlation: CorrelationAnalysis::over(trace),
         }
     }
 
@@ -340,7 +388,7 @@ mod tests {
     #[test]
     fn env_breakdown_counts_subcauses() {
         let trace = build();
-        let a = PowerAnalysis::new(&trace);
+        let a = PowerAnalysis::over(&trace);
         let counts = a.env_breakdown();
         assert_eq!(counts[&EnvironmentCause::PowerOutage], 1);
         assert_eq!(counts[&EnvironmentCause::Ups], 1);
@@ -353,7 +401,7 @@ mod tests {
     #[test]
     fn hardware_after_outage_detected() {
         let trace = build();
-        let a = PowerAnalysis::new(&trace);
+        let a = PowerAnalysis::over(&trace);
         let e = a.conditional_after(
             PowerProblem::Outage,
             FailureClass::Root(RootCause::Hardware),
@@ -373,7 +421,7 @@ mod tests {
     #[test]
     fn psu_failure_cascades_to_fan() {
         let trace = build();
-        let a = PowerAnalysis::new(&trace);
+        let a = PowerAnalysis::over(&trace);
         let e = a.conditional_after(
             PowerProblem::PowerSupply,
             FailureClass::Hw(HardwareComponent::Fan),
@@ -385,7 +433,7 @@ mod tests {
     #[test]
     fn figure_tables_have_expected_shape() {
         let trace = build();
-        let a = PowerAnalysis::new(&trace);
+        let a = PowerAnalysis::over(&trace);
         assert_eq!(a.figure10_left().len(), 12); // 4 problems x 3 windows
         assert_eq!(a.figure10_right().len(), 20); // 5 components x 4
         assert_eq!(a.figure11_left().len(), 12);
@@ -395,7 +443,7 @@ mod tests {
     #[test]
     fn maintenance_after_ups() {
         let trace = build();
-        let a = PowerAnalysis::new(&trace);
+        let a = PowerAnalysis::over(&trace);
         let e = a.maintenance_after(PowerProblem::Ups);
         assert_eq!(e.conditional.trials(), 1);
         assert_eq!(e.conditional.successes(), 1);
@@ -407,7 +455,7 @@ mod tests {
     #[test]
     fn scatter_extracts_power_failures_only() {
         let trace = build();
-        let a = PowerAnalysis::new(&trace);
+        let a = PowerAnalysis::over(&trace);
         let points = a.scatter(SystemId::new(2));
         // Outage, PSU, UPS — the fan and memory failures are not power
         // problems.

@@ -21,6 +21,57 @@ pub enum StudyFamily {
     NegativeBinomial,
 }
 
+impl StudyFamily {
+    /// Both families in table order.
+    pub const ALL: [StudyFamily; 2] = [StudyFamily::Poisson, StudyFamily::NegativeBinomial];
+
+    /// The wire label (`poisson` / `negative-binomial`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            StudyFamily::Poisson => "poisson",
+            StudyFamily::NegativeBinomial => "negative-binomial",
+        }
+    }
+}
+
+impl std::fmt::Display for StudyFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`StudyFamily`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFamilyError(String);
+
+impl std::fmt::Display for ParseFamilyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown regression family {:?}, expected poisson or negative-binomial",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFamilyError {}
+
+impl std::str::FromStr for StudyFamily {
+    type Err = ParseFamilyError;
+
+    /// Accepts the wire labels with `-`/`_`/space treated
+    /// interchangeably, plus the shorthand `nb`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut key = s.to_ascii_lowercase();
+        key.retain(|c| !matches!(c, '-' | '_' | ' '));
+        match key.as_str() {
+            "poisson" => Ok(StudyFamily::Poisson),
+            "negativebinomial" | "negbin" | "nb" => Ok(StudyFamily::NegativeBinomial),
+            _ => Err(ParseFamilyError(s.to_owned())),
+        }
+    }
+}
+
 /// The Table I predictor names, in table order.
 pub const PREDICTORS: [&str; 7] = [
     "avg_temp",
@@ -40,7 +91,14 @@ pub struct RegressionStudy<'a> {
 
 impl<'a> RegressionStudy<'a> {
     /// Creates the study over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::regression` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        RegressionStudy::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::regression`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         RegressionStudy { trace }
     }
 
@@ -262,7 +320,7 @@ mod tests {
     #[test]
     fn features_assembled_for_all_nodes() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let rows = study.features(SystemId::new(20));
         assert_eq!(rows.len(), 60);
         assert!(rows.iter().all(|r| r.pir >= 1.0 && r.pir <= 5.0));
@@ -272,7 +330,7 @@ mod tests {
     #[test]
     fn usage_significant_temperature_not() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let fit = study
             .fit(SystemId::new(20), StudyFamily::Poisson, false)
             .unwrap();
@@ -288,7 +346,7 @@ mod tests {
     #[test]
     fn nb_table_fits_too() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let (pois, nb) = study.both_tables(SystemId::new(20)).unwrap();
         // Intercept + 7 predictors, minus any constant column that was
         // dropped (num_hightemp is all zero in this fixture).
@@ -305,7 +363,7 @@ mod tests {
     #[test]
     fn refit_significant_only_keeps_signal() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let full = study
             .fit(SystemId::new(20), StudyFamily::Poisson, false)
             .unwrap();
@@ -322,7 +380,7 @@ mod tests {
     #[test]
     fn refit_with_nothing_significant_errors() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let full = study
             .fit(SystemId::new(20), StudyFamily::Poisson, false)
             .unwrap();
@@ -336,7 +394,7 @@ mod tests {
     #[test]
     fn exclude_node0_still_fits() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let fit = study
             .fit(SystemId::new(20), StudyFamily::Poisson, true)
             .unwrap();
@@ -346,7 +404,7 @@ mod tests {
     #[test]
     fn unknown_system_underdetermined() {
         let trace = build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let err = study
             .fit(SystemId::new(9), StudyFamily::Poisson, false)
             .unwrap_err();
@@ -362,7 +420,7 @@ mod debug_fit {
     #[ignore]
     fn print_fit() {
         let trace = super::tests::build();
-        let study = RegressionStudy::new(&trace);
+        let study = RegressionStudy::over(&trace);
         let fit = study
             .fit(SystemId::new(20), StudyFamily::Poisson, false)
             .unwrap();

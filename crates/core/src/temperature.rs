@@ -46,6 +46,45 @@ impl TempPredictor {
     }
 }
 
+impl std::fmt::Display for TempPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`TempPredictor`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePredictorError(String);
+
+impl std::fmt::Display for ParsePredictorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown temperature predictor {:?}, expected avg_temp, max_temp or temp_var",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParsePredictorError {}
+
+impl std::str::FromStr for TempPredictor {
+    type Err = ParsePredictorError;
+
+    /// Accepts the table labels (`avg_temp`, ...) with `-`/`_`/space
+    /// treated interchangeably, plus `average`/`maximum`/`variance`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut key = s.to_ascii_lowercase();
+        key.retain(|c| !matches!(c, '-' | '_' | ' '));
+        match key.as_str() {
+            "avgtemp" | "avg" | "average" => Ok(TempPredictor::Average),
+            "maxtemp" | "max" | "maximum" => Ok(TempPredictor::Maximum),
+            "tempvar" | "var" | "variance" => Ok(TempPredictor::Variance),
+            _ => Err(ParsePredictorError(s.to_owned())),
+        }
+    }
+}
+
 /// The two temperature-excursion triggers of Figure 13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TempTrigger {
@@ -97,10 +136,17 @@ pub struct TemperatureAnalysis<'a> {
 
 impl<'a> TemperatureAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::temperature` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        TemperatureAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::temperature`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         TemperatureAnalysis {
             trace,
-            correlation: CorrelationAnalysis::new(trace),
+            correlation: CorrelationAnalysis::over(trace),
         }
     }
 
@@ -268,7 +314,7 @@ mod tests {
     #[test]
     fn no_effect_when_failures_flat() {
         let trace = build(false);
-        let a = TemperatureAnalysis::new(&trace);
+        let a = TemperatureAnalysis::over(&trace);
         let fit = a
             .regression(
                 SystemId::new(20),
@@ -284,7 +330,7 @@ mod tests {
     #[test]
     fn effect_detected_when_planted() {
         let trace = build(true);
-        let a = TemperatureAnalysis::new(&trace);
+        let a = TemperatureAnalysis::over(&trace);
         let fit = a
             .regression(
                 SystemId::new(20),
@@ -301,7 +347,7 @@ mod tests {
     #[test]
     fn negative_binomial_regression_runs() {
         let trace = build(false);
-        let a = TemperatureAnalysis::new(&trace);
+        let a = TemperatureAnalysis::over(&trace);
         let fit = a
             .regression(
                 SystemId::new(20),
@@ -316,7 +362,7 @@ mod tests {
     #[test]
     fn regression_without_temperature_errors() {
         let trace = build(false);
-        let a = TemperatureAnalysis::new(&trace);
+        let a = TemperatureAnalysis::over(&trace);
         let err = a
             .regression(
                 SystemId::new(99),
@@ -331,7 +377,7 @@ mod tests {
     #[test]
     fn figure13_shapes() {
         let trace = build(false);
-        let a = TemperatureAnalysis::new(&trace);
+        let a = TemperatureAnalysis::over(&trace);
         assert_eq!(a.figure13_left().len(), 6); // 2 triggers x 3 windows
         assert_eq!(a.figure13_right().len(), 14); // 7 components x 2
     }
@@ -367,7 +413,7 @@ mod tests {
         ));
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let a = TemperatureAnalysis::new(&trace);
+        let a = TemperatureAnalysis::over(&trace);
         let msc = a
             .figure13_right()
             .into_iter()

@@ -40,7 +40,14 @@ pub struct UsageAnalysis<'a> {
 
 impl<'a> UsageAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::usage` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        UsageAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::usage`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         UsageAnalysis { trace }
     }
 
@@ -189,7 +196,7 @@ mod tests {
     #[test]
     fn scatter_reflects_usage_and_failures() {
         let trace = build();
-        let a = UsageAnalysis::new(&trace);
+        let a = UsageAnalysis::over(&trace);
         let points = a.scatter(SystemId::new(8));
         assert_eq!(points.len(), 6);
         let p0 = &points[0];
@@ -204,7 +211,7 @@ mod tests {
     #[test]
     fn pearson_dominated_by_node0() {
         let trace = build();
-        let a = UsageAnalysis::new(&trace);
+        let a = UsageAnalysis::over(&trace);
         let r = a.jobs_failures_pearson(SystemId::new(8));
         assert!(r.all_nodes.unwrap() > 0.9, "all {:?}", r.all_nodes);
         // Without node 0 the correlation drops markedly.
@@ -214,7 +221,7 @@ mod tests {
     #[test]
     fn util_correlation_also_positive() {
         let trace = build();
-        let a = UsageAnalysis::new(&trace);
+        let a = UsageAnalysis::over(&trace);
         let r = a.util_failures_pearson(SystemId::new(8));
         assert!(r.all_nodes.unwrap() > 0.5);
     }
@@ -222,7 +229,7 @@ mod tests {
     #[test]
     fn spearman_available() {
         let trace = build();
-        let a = UsageAnalysis::new(&trace);
+        let a = UsageAnalysis::over(&trace);
         let r = a.jobs_failures_spearman(SystemId::new(8));
         assert!(r.all_nodes.is_some());
     }
@@ -230,7 +237,7 @@ mod tests {
     #[test]
     fn system_without_jobs_yields_empty() {
         let trace = build();
-        let a = UsageAnalysis::new(&trace);
+        let a = UsageAnalysis::over(&trace);
         assert!(a.scatter(SystemId::new(99)).is_empty());
         let r = a.jobs_failures_pearson(SystemId::new(99));
         assert!(r.all_nodes.is_none());

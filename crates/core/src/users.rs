@@ -44,7 +44,14 @@ pub struct UserAnalysis<'a> {
 
 impl<'a> UserAnalysis<'a> {
     /// Creates the analysis over `trace`.
+    #[deprecated(note = "construct through `hpcfail_core::engine::Engine::users` instead")]
     pub fn new(trace: &'a Trace) -> Self {
+        UserAnalysis::over(trace)
+    }
+
+    /// Engine-internal constructor: the public entry point is
+    /// [`crate::engine::Engine::users`].
+    pub(crate) fn over(trace: &'a Trace) -> Self {
         UserAnalysis { trace }
     }
 
@@ -202,7 +209,7 @@ mod tests {
         b.push_failure(failure(0, 50.0)); // hits nobody (no job running)
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let stats = UserAnalysis::new(&trace).user_stats(SystemId::new(8));
+        let stats = UserAnalysis::over(&trace).user_stats(SystemId::new(8));
         let by_user: BTreeMap<u32, &UserStat> = stats.iter().map(|s| (s.user.raw(), s)).collect();
         assert_eq!(by_user[&1].node_failures, 1);
         assert_eq!(by_user[&2].node_failures, 1);
@@ -216,7 +223,7 @@ mod tests {
         b.push_job(job(2, 1, 1, 0.0, 5.0)); // 4 procs x 5 days
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let stats = UserAnalysis::new(&trace).user_stats(SystemId::new(8));
+        let stats = UserAnalysis::over(&trace).user_stats(SystemId::new(8));
         assert_eq!(stats.len(), 1);
         assert!((stats[0].processor_days - 60.0).abs() < 1e-6);
         assert_eq!(stats[0].jobs, 2);
@@ -230,7 +237,7 @@ mod tests {
         b.push_job(job(3, 3, 0, 30.0, 35.0));
         let mut trace = Trace::new();
         trace.insert_system(b.build());
-        let top = UserAnalysis::new(&trace).heaviest_users(SystemId::new(8), 2);
+        let top = UserAnalysis::over(&trace).heaviest_users(SystemId::new(8), 2);
         assert_eq!(top.len(), 2);
         assert_eq!(top[0].user, UserId::new(2));
         assert_eq!(top[1].user, UserId::new(3));
@@ -247,7 +254,7 @@ mod tests {
             })
             .collect();
         let trace = Trace::new();
-        let t = UserAnalysis::new(&trace)
+        let t = UserAnalysis::over(&trace)
             .heterogeneity_test(&stats)
             .unwrap();
         assert!(t.significant_at(0.01));
@@ -264,7 +271,7 @@ mod tests {
             })
             .collect();
         let trace = Trace::new();
-        let t = UserAnalysis::new(&trace)
+        let t = UserAnalysis::over(&trace)
             .heterogeneity_test(&stats)
             .unwrap();
         assert!(!t.significant_at(0.05));

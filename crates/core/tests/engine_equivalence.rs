@@ -1,0 +1,395 @@
+//! Equivalence of the unified [`Engine`] API with direct per-analysis
+//! calls: for every request variant, `Engine::run` must produce the
+//! same values — and the same JSON bytes — as calling the underlying
+//! analysis directly, and repeated (warm) runs must equal the first
+//! (cold) one byte-for-byte.
+
+#![allow(deprecated)]
+
+use hpcfail_core::availability::AvailabilityAnalysis;
+use hpcfail_core::checkpoint::{CheckpointPolicy, CheckpointSimulator};
+use hpcfail_core::correlation::{CorrelationAnalysis, Scope};
+use hpcfail_core::cosmic::CosmicAnalysis;
+use hpcfail_core::engine::{
+    AnalysisRequest, AnalysisResult, ArrivalSummary, CosmicSummary, Engine, EnvShare, GlmSummary,
+    RootShare, UsageSummary, UserSummary, REQUEST_KINDS,
+};
+use hpcfail_core::interarrival::ArrivalAnalysis;
+use hpcfail_core::nodes::NodeAnalysis;
+use hpcfail_core::pairwise::PairwiseAnalysis;
+use hpcfail_core::power::{PowerAnalysis, PowerProblem};
+use hpcfail_core::predict::AlarmRule;
+use hpcfail_core::regression_study::{RegressionStudy, StudyFamily};
+use hpcfail_core::temperature::{TempPredictor, TemperatureAnalysis};
+use hpcfail_core::usage::UsageAnalysis;
+use hpcfail_core::users::UserAnalysis;
+use hpcfail_stats::glm::Family;
+use hpcfail_store::trace::Trace;
+use hpcfail_types::prelude::*;
+use proptest::prelude::*;
+
+fn demo_trace() -> Trace {
+    hpcfail_synth::FleetSpec::demo().generate(42).into_store()
+}
+
+/// One request per kind, parameterized so proptest can vary the
+/// interesting axes.
+fn requests(seed: (usize, usize, usize)) -> Vec<AnalysisRequest> {
+    let (class_ix, window_ix, scope_ix) = seed;
+    let class = [
+        FailureClass::Any,
+        FailureClass::Root(RootCause::Hardware),
+        FailureClass::Root(RootCause::Software),
+        FailureClass::Hw(HardwareComponent::MemoryDimm),
+    ][class_ix % 4];
+    let window = Window::ALL[window_ix % Window::ALL.len()];
+    let scope = Scope::ALL[scope_ix % Scope::ALL.len()];
+    let system = SystemId::new(2);
+    vec![
+        AnalysisRequest::TraceSummary,
+        AnalysisRequest::Conditional {
+            group: SystemGroup::Group1,
+            trigger: class,
+            target: FailureClass::Any,
+            window,
+            scope,
+        },
+        AnalysisRequest::FleetConditional {
+            trigger: class,
+            target: FailureClass::Any,
+            window,
+            scope,
+        },
+        AnalysisRequest::SameTypeSummaries {
+            group: SystemGroup::Group2,
+            window,
+            scope,
+        },
+        AnalysisRequest::NodeFailureCounts { system },
+        AnalysisRequest::EqualRatesTest {
+            system,
+            class,
+            exclude_node0: scope_ix % 2 == 0,
+        },
+        AnalysisRequest::NodeVsRest {
+            system,
+            node: NodeId::new((class_ix % 4) as u32),
+            class,
+            window,
+        },
+        AnalysisRequest::RootCauseShares {
+            system,
+            nodes: vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+        },
+        AnalysisRequest::UsageCorrelations { system },
+        AnalysisRequest::HeaviestUsers {
+            system,
+            k: 3 + class_ix % 5,
+        },
+        AnalysisRequest::EnvBreakdown,
+        AnalysisRequest::PowerConditional {
+            problem: PowerProblem::ALL[class_ix % PowerProblem::ALL.len()],
+            target: FailureClass::Any,
+            window,
+        },
+        AnalysisRequest::MaintenanceAfterPower {
+            problem: PowerProblem::ALL[window_ix % PowerProblem::ALL.len()],
+        },
+        AnalysisRequest::TemperatureRegression {
+            system,
+            predictor: TempPredictor::ALL[class_ix % TempPredictor::ALL.len()],
+            target: FailureClass::Any,
+            family: StudyFamily::Poisson,
+        },
+        AnalysisRequest::CosmicCorrelation { system, class },
+        AnalysisRequest::RegressionStudy {
+            system,
+            family: StudyFamily::ALL[class_ix % StudyFamily::ALL.len()],
+            exclude_node0: window_ix % 2 == 0,
+        },
+        AnalysisRequest::ArrivalProfile {
+            system,
+            class: FailureClass::Any,
+        },
+        AnalysisRequest::AlarmEvaluation {
+            group: SystemGroup::Group1,
+            trigger: class,
+            window,
+        },
+        AnalysisRequest::CheckpointReplay {
+            group: SystemGroup::Group2,
+            policy: if class_ix % 2 == 0 {
+                CheckpointPolicy::Uniform {
+                    interval_hours: 4.0 + window_ix as f64,
+                }
+            } else {
+                CheckpointPolicy::Adaptive {
+                    base_hours: 8.0,
+                    flagged_hours: 2.0,
+                    rule: AlarmRule {
+                        trigger: class,
+                        window,
+                    },
+                }
+            },
+        },
+        AnalysisRequest::Availability {
+            system: if class_ix % 2 == 0 {
+                None
+            } else {
+                Some(system)
+            },
+        },
+    ]
+}
+
+/// Computes the answer to `request` through the deprecated direct
+/// constructors, byte-compatible with `Engine::run`.
+fn direct(trace: &Trace, engine: &Engine, request: &AnalysisRequest) -> AnalysisResult {
+    match request {
+        AnalysisRequest::TraceSummary => {
+            AnalysisResult::TraceSummary(hpcfail_core::engine::TraceSummary {
+                systems: trace.systems().map(|s| s.config().id.raw()).collect(),
+                failures: trace.total_failures() as u64,
+                fingerprint: engine.fingerprint_hex(),
+            })
+        }
+        AnalysisRequest::Conditional {
+            group,
+            trigger,
+            target,
+            window,
+            scope,
+        } => AnalysisResult::Conditional(
+            CorrelationAnalysis::new(trace)
+                .group_conditional(*group, *trigger, *target, *window, *scope),
+        ),
+        AnalysisRequest::FleetConditional {
+            trigger,
+            target,
+            window,
+            scope,
+        } => AnalysisResult::Conditional(
+            CorrelationAnalysis::new(trace).fleet_conditional(*trigger, *target, *window, *scope),
+        ),
+        AnalysisRequest::SameTypeSummaries {
+            group,
+            window,
+            scope,
+        } => AnalysisResult::SameType(
+            PairwiseAnalysis::new(trace).same_type_summaries(*group, *window, *scope),
+        ),
+        AnalysisRequest::NodeFailureCounts { system } => {
+            AnalysisResult::NodeFailureCounts(NodeAnalysis::new(trace).failure_counts(*system))
+        }
+        AnalysisRequest::EqualRatesTest {
+            system,
+            class,
+            exclude_node0,
+        } => {
+            let exclude: &[NodeId] = if *exclude_node0 {
+                &[NodeId::new(0)]
+            } else {
+                &[]
+            };
+            AnalysisResult::Test(
+                NodeAnalysis::new(trace).equal_rates_test(*system, *class, exclude),
+            )
+        }
+        AnalysisRequest::NodeVsRest {
+            system,
+            node,
+            class,
+            window,
+        } => AnalysisResult::NodeVsRest(
+            NodeAnalysis::new(trace).node_vs_rest(*system, *node, *class, *window),
+        ),
+        AnalysisRequest::RootCauseShares { system, nodes } => AnalysisResult::RootCauseShares(
+            NodeAnalysis::new(trace)
+                .root_cause_shares(*system, nodes)
+                .into_iter()
+                .map(|(root, share)| RootShare { root, share })
+                .collect(),
+        ),
+        AnalysisRequest::UsageCorrelations { system } => {
+            let usage = UsageAnalysis::new(trace);
+            AnalysisResult::Usage(UsageSummary {
+                jobs_pearson: usage.jobs_failures_pearson(*system),
+                util_pearson: usage.util_failures_pearson(*system),
+                jobs_spearman: usage.jobs_failures_spearman(*system),
+            })
+        }
+        AnalysisRequest::HeaviestUsers { system, k } => {
+            let users = UserAnalysis::new(trace);
+            let stats = users.heaviest_users(*system, *k);
+            let heterogeneity = users.heterogeneity_test(&stats);
+            AnalysisResult::Users(UserSummary {
+                stats,
+                heterogeneity,
+            })
+        }
+        AnalysisRequest::EnvBreakdown => {
+            let power = PowerAnalysis::new(trace);
+            let shares = power.env_shares();
+            AnalysisResult::EnvBreakdown(
+                power
+                    .env_breakdown()
+                    .into_iter()
+                    .map(|(cause, count)| EnvShare {
+                        cause,
+                        count,
+                        share: shares.get(&cause).copied().unwrap_or(0.0),
+                    })
+                    .collect(),
+            )
+        }
+        AnalysisRequest::PowerConditional {
+            problem,
+            target,
+            window,
+        } => AnalysisResult::Conditional(
+            PowerAnalysis::new(trace).conditional_after(*problem, *target, *window),
+        ),
+        AnalysisRequest::MaintenanceAfterPower { problem } => {
+            AnalysisResult::Conditional(PowerAnalysis::new(trace).maintenance_after(*problem))
+        }
+        AnalysisRequest::TemperatureRegression {
+            system,
+            predictor,
+            target,
+            family,
+        } => {
+            let family = match family {
+                StudyFamily::Poisson => Family::Poisson,
+                StudyFamily::NegativeBinomial => Family::NegativeBinomial { theta: 1.0 },
+            };
+            AnalysisResult::Glm(
+                TemperatureAnalysis::new(trace)
+                    .regression(*system, *predictor, *target, family)
+                    .map(|fit| GlmSummary::from_fit(&fit))
+                    .map_err(|e| e.to_string()),
+            )
+        }
+        AnalysisRequest::CosmicCorrelation { system, class } => {
+            let cosmic = CosmicAnalysis::new(trace);
+            AnalysisResult::Cosmic(CosmicSummary {
+                months: cosmic.monthly_series(*system, *class).len(),
+                pearson: cosmic.flux_correlation(*system, *class),
+                spearman: cosmic.flux_rank_correlation(*system, *class),
+            })
+        }
+        AnalysisRequest::RegressionStudy {
+            system,
+            family,
+            exclude_node0,
+        } => AnalysisResult::Glm(
+            RegressionStudy::new(trace)
+                .fit(*system, *family, *exclude_node0)
+                .map(|fit| GlmSummary::from_fit(&fit))
+                .map_err(|e| e.to_string()),
+        ),
+        AnalysisRequest::ArrivalProfile { system, class } => AnalysisResult::Arrival(
+            ArrivalAnalysis::new(trace)
+                .profile(*system, *class)
+                .map(|p| ArrivalSummary::from_profile(&p))
+                .map_err(|e| e.to_string()),
+        ),
+        AnalysisRequest::AlarmEvaluation {
+            group,
+            trigger,
+            window,
+        } => AnalysisResult::Alarm(
+            AlarmRule {
+                trigger: *trigger,
+                window: *window,
+            }
+            .evaluate_group(trace, *group),
+        ),
+        AnalysisRequest::CheckpointReplay { group, policy } => AnalysisResult::Checkpoint(
+            CheckpointSimulator::typical().replay_group(trace, *group, *policy),
+        ),
+        AnalysisRequest::Availability { system } => {
+            let availability = AvailabilityAnalysis::new(trace);
+            AnalysisResult::Availability(match system {
+                Some(id) => availability.report(*id).into_iter().collect(),
+                None => availability.all_reports(),
+            })
+        }
+    }
+}
+
+#[test]
+fn engine_matches_direct_calls_for_every_kind() {
+    let trace = demo_trace();
+    let engine = Engine::new(demo_trace());
+    let reqs = requests((0, 0, 0));
+    assert_eq!(
+        reqs.iter().map(AnalysisRequest::kind).collect::<Vec<_>>(),
+        REQUEST_KINDS.to_vec(),
+        "the sample covers every request kind exactly once"
+    );
+    for request in reqs {
+        let via_engine = engine.run(&request);
+        let via_direct = direct(&trace, &engine, &request);
+        assert_eq!(via_engine, via_direct, "values for {}", request.kind());
+        assert_eq!(
+            via_engine.to_json().pretty(),
+            via_direct.to_json().pretty(),
+            "bytes for {}",
+            request.kind()
+        );
+    }
+}
+
+#[test]
+fn warm_runs_equal_cold_runs() {
+    let engine = Engine::new(demo_trace());
+    for request in requests((1, 1, 1)) {
+        let cold = engine.run(&request).to_json().pretty();
+        for _ in 0..3 {
+            assert_eq!(
+                engine.run(&request).to_json().pretty(),
+                cold,
+                "repeat runs of {}",
+                request.kind()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engine_equivalence_holds_across_parameters(
+        class_ix in 0usize..4,
+        window_ix in 0usize..3,
+        scope_ix in 0usize..3,
+    ) {
+        let trace = demo_trace();
+        let engine = Engine::new(demo_trace());
+        for request in requests((class_ix, window_ix, scope_ix)) {
+            let via_engine = engine.run(&request);
+            let via_direct = direct(&trace, &engine, &request);
+            prop_assert_eq!(
+                via_engine.to_json().pretty(),
+                via_direct.to_json().pretty(),
+                "bytes for {}", request.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_lossless(
+        class_ix in 0usize..4,
+        window_ix in 0usize..3,
+        scope_ix in 0usize..3,
+    ) {
+        for request in requests((class_ix, window_ix, scope_ix)) {
+            let wire = request.canonical();
+            let back = AnalysisRequest::parse(&wire).expect("parses back");
+            prop_assert_eq!(&back, &request);
+            prop_assert_eq!(back.canonical(), wire);
+        }
+    }
+}

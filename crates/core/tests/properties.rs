@@ -2,7 +2,8 @@
 //! estimator against a brute-force oracle on random traces, estimate
 //! algebra, and alarm-rule invariants.
 
-use hpcfail_core::correlation::{CorrelationAnalysis, Scope};
+use hpcfail_core::correlation::Scope;
+use hpcfail_core::engine::Engine;
 use hpcfail_core::predict::AlarmRule;
 use hpcfail_store::trace::{SystemTraceBuilder, Trace};
 use hpcfail_types::prelude::*;
@@ -165,8 +166,8 @@ fn oracle_scoped(
 proptest! {
     #[test]
     fn conditional_matches_oracle(failures in arb_failures(), trigger in 0u8..6) {
-        let trace = build_trace(&failures);
-        let analysis = CorrelationAnalysis::new(&trace);
+        let engine = Engine::new(build_trace(&failures));
+        let analysis = engine.correlation();
         for window in [Window::Day, Window::Week] {
             let e = analysis.system_conditional(
                 SystemId::new(1),
@@ -190,9 +191,9 @@ proptest! {
         // Differential check of the indexed/sliding-window paths: every
         // (window, scope) estimate — counts AND baseline — must equal
         // the brute-force per-node probes the engine used pre-index.
-        let trace = build_trace_with_racks(&failures);
-        let analysis = CorrelationAnalysis::new(&trace);
-        let system = trace.system(SystemId::new(1)).expect("system 1");
+        let engine = Engine::new(build_trace_with_racks(&failures));
+        let analysis = engine.correlation();
+        let system = engine.trace().system(SystemId::new(1)).expect("system 1");
         let direct = hpcfail_store::query::BaselineEstimator::new(system);
         for window in [Window::Day, Window::Week] {
             for scope in [Scope::SameNode, Scope::SameRack, Scope::SameSystem] {
@@ -233,8 +234,8 @@ proptest! {
 
     #[test]
     fn conditional_counts_monotone_in_window(failures in arb_failures()) {
-        let trace = build_trace(&failures);
-        let analysis = CorrelationAnalysis::new(&trace);
+        let engine = Engine::new(build_trace(&failures));
+        let analysis = engine.correlation();
         let get = |w| {
             analysis.system_conditional(
                 SystemId::new(1),
@@ -259,8 +260,8 @@ proptest! {
 
     #[test]
     fn group_conditional_equals_single_system(failures in arb_failures()) {
-        let trace = build_trace(&failures);
-        let analysis = CorrelationAnalysis::new(&trace);
+        let engine = Engine::new(build_trace(&failures));
+        let analysis = engine.correlation();
         let single = analysis.system_conditional(
             SystemId::new(1),
             FailureClass::Any,
@@ -283,8 +284,8 @@ proptest! {
     fn alarm_precision_equals_conditional(failures in arb_failures()) {
         // The alarm rule's precision is by construction the same-node
         // conditional probability with the same trigger and window.
-        let trace = build_trace(&failures);
-        let analysis = CorrelationAnalysis::new(&trace);
+        let engine = Engine::new(build_trace(&failures));
+        let analysis = engine.correlation();
         let e = analysis.system_conditional(
             SystemId::new(1),
             FailureClass::Root(RootCause::Hardware),
@@ -296,7 +297,7 @@ proptest! {
             trigger: FailureClass::Root(RootCause::Hardware),
             window: Window::Week,
         };
-        let eval = rule.evaluate_group(&trace, SystemGroup::Group1);
+        let eval = rule.evaluate_group(engine.trace(), SystemGroup::Group1);
         prop_assert_eq!(eval.alarms, e.conditional.trials());
         prop_assert_eq!(eval.correct_alarms, e.conditional.successes());
     }

@@ -1,0 +1,294 @@
+//! The `hpcfail-serve` command: run the analysis query service, or
+//! query a running one (no external HTTP tooling needed).
+//!
+//! ```text
+//! hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
+//!                     [--scale 0.1] [--seed 42]
+//!                     [--trace DIR [--policy strict|lenient|best-effort]]
+//!                     [--manifest PATH] [--quiet]
+//! hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] JSON|-
+//! hpcfail-serve requests
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime/server error, 2 usage error.
+
+use hpcfail_core::engine::{AnalysisRequest, Engine, REQUEST_KINDS};
+use hpcfail_obs::manifest::{git_describe, ManifestSink};
+use hpcfail_obs::sink::Sink;
+use hpcfail_serve::client::Client;
+use hpcfail_serve::server::{spawn, ServerConfig};
+use hpcfail_store::ingest::{load_trace_with, IngestPolicy};
+use hpcfail_synth::FleetSpec;
+use std::io::Read;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
+                      [--scale 0.1] [--seed 42]
+                      [--trace DIR [--policy strict|lenient|best-effort]]
+                      [--manifest PATH] [--quiet]
+  hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] JSON|-
+  hpcfail-serve requests";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("requests") => {
+            for kind in REQUEST_KINDS {
+                println!("{kind}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct ServeArgs {
+    addr: String,
+    workers: usize,
+    cache: usize,
+    scale: Option<f64>,
+    seed: Option<u64>,
+    trace_dir: Option<String>,
+    policy: IngestPolicy,
+    manifest: Option<String>,
+    quiet: bool,
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Parses `--flag value` pairs; returns the value or an error message.
+fn take_value<'a>(flag: &str, iter: &mut std::slice::Iter<'a, String>) -> Result<&'a str, String> {
+    iter.next()
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut parsed = ServeArgs {
+        addr: "127.0.0.1:7070".to_owned(),
+        workers: 4,
+        cache: 1024,
+        scale: None,
+        seed: None,
+        trace_dir: None,
+        policy: IngestPolicy::Strict,
+        manifest: None,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> =
+            match arg.as_str() {
+                "--addr" => take_value("--addr", &mut iter).map(|v| parsed.addr = v.to_owned()),
+                "--workers" => take_value("--workers", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.workers = n)
+                        .map_err(|_| format!("invalid --workers {v:?}"))
+                }),
+                "--cache" => take_value("--cache", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.cache = n)
+                        .map_err(|_| format!("invalid --cache {v:?}"))
+                }),
+                "--scale" => take_value("--scale", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.scale = Some(n))
+                        .map_err(|_| format!("invalid --scale {v:?}"))
+                }),
+                "--seed" => take_value("--seed", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.seed = Some(n))
+                        .map_err(|_| format!("invalid --seed {v:?}"))
+                }),
+                "--trace" => {
+                    take_value("--trace", &mut iter).map(|v| parsed.trace_dir = Some(v.to_owned()))
+                }
+                "--policy" => take_value("--policy", &mut iter)
+                    .and_then(|v| v.parse().map(|p| parsed.policy = p)),
+                "--manifest" => take_value("--manifest", &mut iter)
+                    .map(|v| parsed.manifest = Some(v.to_owned())),
+                "--quiet" => {
+                    parsed.quiet = true;
+                    Ok(())
+                }
+                other => Err(format!("unknown flag {other:?}")),
+            };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    if parsed.trace_dir.is_some() && (parsed.scale.is_some() || parsed.seed.is_some()) {
+        return usage_error("--scale/--seed and --trace are mutually exclusive");
+    }
+    let scale = parsed.scale.unwrap_or(0.1);
+    let seed = parsed.seed.unwrap_or(42);
+    if scale <= 0.0 {
+        return usage_error("--scale must be positive");
+    }
+
+    let engine = match &parsed.trace_dir {
+        Some(dir) => match load_trace_with(dir, parsed.policy) {
+            Ok((trace, report)) => {
+                if !parsed.quiet && !report.quarantined.is_empty() {
+                    eprintln!(
+                        "ingest: quarantined {} rows under {} policy",
+                        report.quarantined.len(),
+                        parsed.policy
+                    );
+                }
+                Engine::new(trace)
+            }
+            Err(err) => {
+                eprintln!("failed to load trace from {dir:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let spec = if scale >= 1.0 {
+                FleetSpec::lanl()
+            } else {
+                FleetSpec::lanl_scaled(scale)
+            };
+            Engine::new(spec.generate(seed).into_store())
+        }
+    };
+
+    let fingerprint = engine.fingerprint_hex();
+    let config = ServerConfig {
+        addr: parsed.addr.clone(),
+        workers: parsed.workers,
+        cache_capacity: parsed.cache,
+        ..ServerConfig::default()
+    };
+    let handle = match spawn(engine, config) {
+        Ok(handle) => handle,
+        Err(err) => {
+            eprintln!("failed to bind {:?}: {err}", parsed.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if !parsed.quiet {
+        eprintln!(
+            "hpcfail-serve: listening on {} (trace fingerprint {fingerprint}, {} workers, cache {})",
+            handle.addr(),
+            parsed.workers,
+            parsed.cache
+        );
+    }
+    // Machine-readable line for scripts that need the bound port.
+    println!("ADDR {}", handle.addr());
+
+    while !handle.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+
+    if let Some(path) = &parsed.manifest {
+        let snapshot = hpcfail_obs::snapshot();
+        let mut sink = ManifestSink::new(path, seed, scale, git_describe());
+        if let Err(err) = sink.export(&snapshot) {
+            eprintln!("failed to write manifest {path:?}: {err}");
+            return ExitCode::FAILURE;
+        }
+        if !parsed.quiet {
+            eprintln!("wrote manifest to {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_query(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut batch = false;
+    let mut payload: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            "--deadline-ms" => take_value("--deadline-ms", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| deadline_ms = Some(n))
+                    .map_err(|_| format!("invalid --deadline-ms {v:?}"))
+            }),
+            "--batch" => {
+                batch = true;
+                Ok(())
+            }
+            other if payload.is_none() && !other.starts_with("--") => {
+                payload = Some(other.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("query needs --addr HOST:PORT");
+    };
+    let Some(payload) = payload else {
+        return usage_error("query needs a JSON request (or - for stdin)");
+    };
+    let body = if payload == "-" {
+        let mut text = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("failed to read stdin: {err}");
+            return ExitCode::FAILURE;
+        }
+        text
+    } else {
+        payload
+    };
+    // Validate single queries locally for a friendlier error than a
+    // round trip (batches are validated server-side per item).
+    if !batch {
+        if let Err(err) = AnalysisRequest::parse(&body) {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let client = Client::new(addr);
+    let mut headers: Vec<(String, String)> = Vec::new();
+    if let Some(ms) = deadline_ms {
+        headers.push(("x-deadline-ms".to_owned(), ms.to_string()));
+    }
+    let header_refs: Vec<(&str, &str)> = headers
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect();
+    let path = if batch { "/batch" } else { "/query" };
+    match client.post(path, &body, &header_refs) {
+        Ok(response) => {
+            if let Some(cache) = response.header("x-cache") {
+                eprintln!("x-cache: {cache}");
+            }
+            print!("{}", response.body);
+            if response.status < 300 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("request to {path} failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The LRU result cache.
+//!
+//! Keys are `(trace fingerprint, canonical request JSON)`; values are
+//! shared serialized response bodies. The fingerprint in the key makes
+//! entries self-invalidating: an engine over different data can never
+//! be answered from another trace's results, even if a future server
+//! hosts several engines behind one cache.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::sync::Mutex;
+
+/// Cache key: `(engine fingerprint, canonical request)`.
+pub type CacheKey = (u64, String);
+
+struct CacheInner {
+    /// key → (body, recency stamp)
+    map: HashMap<CacheKey, (Arc<String>, u64)>,
+    /// recency stamp → key, oldest first.
+    order: BTreeMap<u64, CacheKey>,
+    next_stamp: u64,
+}
+
+/// A thread-safe LRU cache of serialized query results.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                next_stamp: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        let (body, old_stamp) = match inner.map.get_mut(key) {
+            Some((body, old)) => {
+                let prev = *old;
+                *old = stamp;
+                (Arc::clone(body), prev)
+            }
+            None => return None,
+        };
+        inner.order.remove(&old_stamp);
+        inner.order.insert(stamp, key.clone());
+        Some(body)
+    }
+
+    /// Inserts `body` under `key`, evicting the least recently used
+    /// entry when full.
+    pub fn put(&self, key: CacheKey, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some((_, old_stamp)) = inner.map.insert(key.clone(), (body, stamp)) {
+            inner.order.remove(&old_stamp);
+        }
+        inner.order.insert(stamp, key);
+        while inner.map.len() > self.capacity {
+            let Some((&oldest, _)) = inner.order.iter().next() else {
+                break;
+            };
+            let evicted = inner.order.remove(&oldest).expect("present");
+            inner.map.remove(&evicted);
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> CacheKey {
+        (7, s.to_owned())
+    }
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn hits_after_put_and_misses_before() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key("a")).is_none());
+        cache.put(key("a"), body("1"));
+        assert_eq!(
+            cache.get(&key("a")).as_deref().map(String::as_str),
+            Some("1")
+        );
+        // A different fingerprint is a different key.
+        assert!(cache.get(&(8, "a".to_owned())).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.put(key("a"), body("1"));
+        cache.put(key("b"), body("2"));
+        // Touch "a" so "b" is the LRU victim.
+        assert!(cache.get(&key("a")).is_some());
+        cache.put(key("c"), body("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("a")).is_some());
+        assert!(cache.get(&key("b")).is_none());
+        assert!(cache.get(&key("c")).is_some());
+    }
+
+    #[test]
+    fn reinserting_updates_value_without_growth() {
+        let cache = ResultCache::new(2);
+        cache.put(key("a"), body("1"));
+        cache.put(key("a"), body("2"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.get(&key("a")).as_deref().map(String::as_str),
+            Some("2")
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.put(key("a"), body("1"));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key("a")).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! `hpcfail-serve`: a concurrent query service over the unified
+//! [`hpcfail_core::engine::Engine`] API.
+//!
+//! The crate turns the analysis toolkit into a long-running server: a
+//! trace is loaded **once** (synthetic or CSV, any ingest policy), one
+//! [`Engine`](hpcfail_core::engine::Engine) fingerprints and shares it
+//! across a fixed pool of worker threads, and typed
+//! [`AnalysisRequest`](hpcfail_core::engine::AnalysisRequest)s arrive
+//! as JSON over plain HTTP/1.1 — std only, no frameworks.
+//!
+//! Serving adds three behaviors on top of the engine, none of which
+//! can change an answer's bytes:
+//!
+//! * **Result cache** ([`cache`]): an LRU keyed on
+//!   `(trace fingerprint, canonical request JSON)`. Warm queries skip
+//!   the analysis entirely.
+//! * **Coalescing** ([`coalesce`]): identical in-flight queries elect
+//!   one leader; followers share its serialized result.
+//! * **Deadlines** ([`server`]): a follower whose `x-deadline-ms`
+//!   passes before the leader finishes degrades gracefully to a typed
+//!   `504` instead of blocking a worker.
+//!
+//! Observability: `serve.requests`, `serve.cache.hit`,
+//! `serve.cache.miss`, `serve.coalesced`, `serve.degraded` counters,
+//! the `serve.inflight` gauge and per-kind `serve.query.<kind>` spans
+//! all land in the standard `hpcfail-obs` registry, so a server run
+//! exports the same manifest format as a `repro` run.
+//!
+//! ```no_run
+//! use hpcfail_core::engine::Engine;
+//! use hpcfail_serve::server::{spawn, ServerConfig};
+//! use hpcfail_store::trace::Trace;
+//!
+//! let engine = Engine::new(Trace::new());
+//! let handle = spawn(engine, ServerConfig::default()).expect("bind");
+//! println!("serving on {}", handle.addr());
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use server::{spawn, ServerConfig, ServerHandle};

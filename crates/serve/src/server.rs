@@ -1,0 +1,484 @@
+//! The query server: a fixed pool of worker threads sharing one
+//! listener, one engine, one result cache and one coalescer.
+//!
+//! ## Endpoints
+//!
+//! | method & path | answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + trace fingerprint |
+//! | `GET /requests` | the request taxonomy (`REQUEST_KINDS`) |
+//! | `POST /query` | one [`AnalysisRequest`] as JSON → its result |
+//! | `POST /batch` | a JSON array of requests → array of results |
+//! | `POST /shutdown` | acknowledges, then stops the server |
+//!
+//! A `/query` response body is **exactly**
+//! `engine.run(&request).to_json().pretty()` — byte-identical to an
+//! in-process call — with the serving metadata (`x-cache`,
+//! `x-degraded`) in headers so it can never perturb the payload.
+//!
+//! ## Deadlines
+//!
+//! Clients may send `x-deadline-ms`. A query that coalesces onto
+//! another client's identical in-flight query waits at most that long
+//! (default [`ServerConfig::default_deadline_ms`]) before answering
+//! `504` with a typed, `degraded: true` error body instead of holding
+//! a worker hostage.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::coalesce::{Claim, Coalescer};
+use crate::http::{self, Request};
+use hpcfail_core::engine::{AnalysisRequest, Engine, REQUEST_KINDS};
+use hpcfail_obs::json::Json;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (0 picks a free port).
+    pub addr: String,
+    /// Worker threads accepting and answering connections.
+    pub workers: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Socket read timeout; an idle keep-alive connection is dropped
+    /// after this long.
+    pub read_timeout: Duration,
+    /// Deadline applied when the client sends no `x-deadline-ms`.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            cache_capacity: 1024,
+            read_timeout: Duration::from_secs(30),
+            default_deadline_ms: 10_000,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    cache: ResultCache,
+    coalescer: Coalescer,
+    shutdown: AtomicBool,
+    inflight: AtomicU64,
+    default_deadline_ms: u64,
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine the server answers from.
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, unblocks the workers and joins them.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Each worker blocks in accept(); poke one connection per
+        // worker so every accept call returns and observes the flag.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Binds `config.addr` and spawns the worker pool.
+///
+/// # Errors
+///
+/// I/O errors binding the listener.
+pub fn spawn(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        cache: ResultCache::new(config.cache_capacity),
+        coalescer: Coalescer::new(),
+        shutdown: AtomicBool::new(false),
+        inflight: AtomicU64::new(0),
+        default_deadline_ms: config.default_deadline_ms,
+    });
+    let listener = Arc::new(listener);
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let listener = Arc::clone(&listener);
+            let shared = Arc::clone(&shared);
+            let read_timeout = config.read_timeout;
+            std::thread::Builder::new()
+                .name(format!("hpcfail-serve-{i}"))
+                .spawn(move || worker_loop(&listener, &shared, read_timeout))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    Ok(ServerHandle {
+        addr,
+        shared,
+        workers,
+    })
+}
+
+fn worker_loop(listener: &TcpListener, shared: &Shared, read_timeout: Duration) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_nodelay(true);
+        serve_connection(stream, shared);
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(err) => {
+                if let Some((status, reason)) = err.status() {
+                    let body = error_body(status, &err.message(), false);
+                    let _ = http::write_response(&mut writer, status, reason, &[], &body, true);
+                }
+                return;
+            }
+        };
+        let close = request.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+        hpcfail_obs::counter("serve.requests").inc();
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        hpcfail_obs::gauge("serve.inflight").set(shared.inflight.load(Ordering::SeqCst) as f64);
+        let outcome = handle(&request, shared, &mut writer, close);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        hpcfail_obs::gauge("serve.inflight").set(shared.inflight.load(Ordering::SeqCst) as f64);
+        match outcome {
+            Ok(()) if !close => continue,
+            _ => return,
+        }
+    }
+}
+
+/// Routes one request; `Err` means the connection is unusable.
+fn handle(
+    request: &Request,
+    shared: &Shared,
+    writer: &mut impl Write,
+    close: bool,
+) -> io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = Json::obj([
+                ("status", Json::Str("ok".to_owned())),
+                ("fingerprint", Json::Str(shared.engine.fingerprint_hex())),
+                ("systems", Json::Num(shared.engine.trace().len() as f64)),
+            ])
+            .pretty();
+            http::write_response(writer, 200, "OK", &[], &body, close)
+        }
+        ("GET", "/requests") => {
+            let body = Json::obj([(
+                "kinds",
+                Json::Arr(
+                    REQUEST_KINDS
+                        .iter()
+                        .map(|k| Json::Str((*k).to_owned()))
+                        .collect(),
+                ),
+            )])
+            .pretty();
+            http::write_response(writer, 200, "OK", &[], &body, close)
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let body = Json::obj([("status", Json::Str("shutting down".to_owned()))]).pretty();
+            http::write_response(writer, 200, "OK", &[], &body, true)
+        }
+        ("POST", "/query") => handle_query(request, shared, writer, close),
+        ("POST", "/batch") => handle_batch(request, shared, writer, close),
+        (_, "/healthz" | "/requests" | "/shutdown" | "/query" | "/batch") => {
+            let body = error_body(405, "method not allowed for this path", false);
+            http::write_response(writer, 405, "Method Not Allowed", &[], &body, close)
+        }
+        _ => {
+            let body = error_body(
+                404,
+                "unknown path; try /healthz, /requests, /query, /batch, /shutdown",
+                false,
+            );
+            http::write_response(writer, 404, "Not Found", &[], &body, close)
+        }
+    }
+}
+
+fn handle_query(
+    request: &Request,
+    shared: &Shared,
+    writer: &mut impl Write,
+    close: bool,
+) -> io::Result<()> {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            let body = error_body(400, "request body is not UTF-8", false);
+            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+        }
+    };
+    let parsed = match AnalysisRequest::parse(text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            let body = error_body(400, &err.to_string(), false);
+            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+        }
+    };
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
+    match answer(&parsed, shared, deadline) {
+        Answer::Fresh(body) => {
+            hpcfail_obs::counter("serve.cache.miss").inc();
+            http::write_response(writer, 200, "OK", &[("x-cache", "miss")], &body, close)
+        }
+        Answer::Cached(body) => {
+            hpcfail_obs::counter("serve.cache.hit").inc();
+            http::write_response(writer, 200, "OK", &[("x-cache", "hit")], &body, close)
+        }
+        Answer::Coalesced(body) => {
+            hpcfail_obs::counter("serve.coalesced").inc();
+            http::write_response(writer, 200, "OK", &[("x-cache", "coalesced")], &body, close)
+        }
+        Answer::Degraded => {
+            hpcfail_obs::counter("serve.degraded").inc();
+            let body = error_body(
+                504,
+                "deadline passed while awaiting an identical in-flight query",
+                true,
+            );
+            http::write_response(
+                writer,
+                504,
+                "Gateway Timeout",
+                &[("x-degraded", "true")],
+                &body,
+                close,
+            )
+        }
+        Answer::Failed(message) => {
+            let body = error_body(500, &message, false);
+            http::write_response(writer, 500, "Internal Server Error", &[], &body, close)
+        }
+    }
+}
+
+fn handle_batch(
+    request: &Request,
+    shared: &Shared,
+    writer: &mut impl Write,
+    close: bool,
+) -> io::Result<()> {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => {
+            let body = error_body(400, "request body is not UTF-8", false);
+            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+        }
+    };
+    let json = match hpcfail_obs::json::parse(text) {
+        Ok(json) => json,
+        Err(err) => {
+            let body = error_body(400, &format!("malformed JSON: {err}"), false);
+            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+        }
+    };
+    let Some(items) = json.as_arr() else {
+        let body = error_body(400, "batch body must be a JSON array of requests", false);
+        return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+    };
+    let mut parsed = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        match AnalysisRequest::from_json(item) {
+            Ok(request) => parsed.push(request),
+            Err(err) => {
+                let body = error_body(400, &format!("batch item {i}: {err}"), false);
+                return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+            }
+        }
+    }
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
+    let mut bodies = Vec::with_capacity(parsed.len());
+    for item in &parsed {
+        match answer(item, shared, deadline) {
+            Answer::Fresh(body) => {
+                hpcfail_obs::counter("serve.cache.miss").inc();
+                bodies.push(Json::Str((*body).clone()));
+            }
+            Answer::Cached(body) => {
+                hpcfail_obs::counter("serve.cache.hit").inc();
+                bodies.push(Json::Str((*body).clone()));
+            }
+            Answer::Coalesced(body) => {
+                hpcfail_obs::counter("serve.coalesced").inc();
+                bodies.push(Json::Str((*body).clone()));
+            }
+            Answer::Degraded => {
+                hpcfail_obs::counter("serve.degraded").inc();
+                let body = error_body(
+                    504,
+                    "deadline passed while awaiting an identical in-flight query",
+                    true,
+                );
+                return http::write_response(
+                    writer,
+                    504,
+                    "Gateway Timeout",
+                    &[("x-degraded", "true")],
+                    &body,
+                    close,
+                );
+            }
+            Answer::Failed(message) => {
+                let body = error_body(500, &message, false);
+                return http::write_response(
+                    writer,
+                    500,
+                    "Internal Server Error",
+                    &[],
+                    &body,
+                    close,
+                );
+            }
+        }
+    }
+    // Each element is the exact /query body for that request, embedded
+    // as a JSON string so per-query byte-identity survives batching.
+    let body = Json::obj([("results", Json::Arr(bodies))]).pretty();
+    http::write_response(writer, 200, "OK", &[], &body, close)
+}
+
+enum Answer {
+    /// Computed by this request.
+    Fresh(Arc<String>),
+    /// Served from the result cache.
+    Cached(Arc<String>),
+    /// Shared from another client's identical in-flight query.
+    Coalesced(Arc<String>),
+    /// Deadline expired while waiting on the in-flight leader.
+    Degraded,
+    /// The query panicked; the message is sanitized.
+    Failed(String),
+}
+
+fn answer(request: &AnalysisRequest, shared: &Shared, deadline: Instant) -> Answer {
+    let key: CacheKey = (shared.engine.fingerprint(), request.canonical());
+    if let Some(body) = shared.cache.get(&key) {
+        return Answer::Cached(body);
+    }
+    match shared.coalescer.claim(&key) {
+        Claim::Leader(guard) => {
+            let span_name = format!("serve.query.{}", request.kind());
+            let _span = hpcfail_obs::span(&span_name);
+            let computed = catch_unwind(AssertUnwindSafe(|| {
+                Arc::new(shared.engine.run(request).to_json().pretty())
+            }));
+            match computed {
+                Ok(body) => {
+                    shared.cache.put(key, Arc::clone(&body));
+                    shared.coalescer.complete(guard, Arc::clone(&body));
+                    Answer::Fresh(body)
+                }
+                Err(_) => {
+                    shared.coalescer.abandon(guard);
+                    Answer::Failed(format!(
+                        "analysis {} panicked; see server logs",
+                        request.kind()
+                    ))
+                }
+            }
+        }
+        Claim::Follower(flight) => match flight.wait(deadline) {
+            Some(body) => Answer::Coalesced(body),
+            None => Answer::Degraded,
+        },
+    }
+}
+
+fn deadline_ms(request: &Request, shared: &Shared) -> u64 {
+    request
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(shared.default_deadline_ms)
+        .max(1)
+}
+
+/// The uniform typed error body.
+fn error_body(status: u16, message: &str, degraded: bool) -> String {
+    Json::obj([(
+        "error",
+        Json::obj([
+            ("status", Json::Num(f64::from(status))),
+            ("message", Json::Str(message.to_owned())),
+            ("degraded", Json::Bool(degraded)),
+        ]),
+    )])
+    .pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_typed_json() {
+        let body = error_body(400, "nope", false);
+        let json = hpcfail_obs::json::parse(&body).expect("valid JSON");
+        assert_eq!(
+            json.get("error")
+                .and_then(|e| e.get("status"))
+                .and_then(Json::as_u64),
+            Some(400)
+        );
+        assert_eq!(
+            json.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str),
+            Some("nope")
+        );
+    }
+}

@@ -520,6 +520,47 @@ impl fmt::Display for FailureClass {
     }
 }
 
+impl FailureClass {
+    /// The unambiguous wire form used by serialized analysis requests:
+    /// `"any"`, or the category prefix and label joined by a colon
+    /// (`"root:HW"`, `"hw:Memory"`, `"sw:OS"`, `"env:UPS"`). Unlike
+    /// [`FailureClass::label`], every wire form parses back via
+    /// [`FromStr`], even where labels collide across categories.
+    pub fn wire(self) -> String {
+        match self {
+            FailureClass::Any => "any".to_owned(),
+            FailureClass::Root(r) => format!("root:{}", r.label()),
+            FailureClass::Hw(c) => format!("hw:{}", c.label()),
+            FailureClass::Sw(c) => format!("sw:{}", c.label()),
+            FailureClass::Env(c) => format!("env:{}", c.label()),
+        }
+    }
+}
+
+impl FromStr for FailureClass {
+    type Err = ParseCauseError;
+
+    /// Parses the wire form produced by [`FailureClass::wire`]. The
+    /// prefix is case-insensitive and a bare root-cause label (e.g.
+    /// `"HW"`) is accepted as shorthand for `root:`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("any") {
+            return Ok(FailureClass::Any);
+        }
+        let Some((prefix, rest)) = s.split_once(':') else {
+            // Bare root-cause labels are common in hand-written queries.
+            return s.parse().map(FailureClass::Root);
+        };
+        match prefix.to_ascii_lowercase().as_str() {
+            "root" => rest.parse().map(FailureClass::Root),
+            "hw" => rest.parse().map(FailureClass::Hw),
+            "sw" => rest.parse().map(FailureClass::Sw),
+            "env" => rest.parse().map(FailureClass::Env),
+            _ => Err(ParseCauseError::new("failure class", s)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +573,29 @@ mod tests {
             root,
             sub,
         )
+    }
+
+    #[test]
+    fn failure_class_wire_roundtrip() {
+        let mut all: Vec<FailureClass> = vec![FailureClass::Any];
+        all.extend(RootCause::ALL.map(FailureClass::Root));
+        all.extend(HardwareComponent::ALL.map(FailureClass::Hw));
+        all.extend(SoftwareCause::ALL.map(FailureClass::Sw));
+        all.extend(EnvironmentCause::ALL.map(FailureClass::Env));
+        for class in all {
+            assert_eq!(class.wire().parse::<FailureClass>().unwrap(), class);
+        }
+        // Bare root labels and case-insensitive prefixes are accepted.
+        assert_eq!(
+            "HW".parse::<FailureClass>().unwrap(),
+            FailureClass::Root(RootCause::Hardware)
+        );
+        assert_eq!(
+            "HW:memory".parse::<FailureClass>().unwrap(),
+            FailureClass::Hw(HardwareComponent::MemoryDimm)
+        );
+        assert!("disk:oops".parse::<FailureClass>().is_err());
+        assert!("hw:oops".parse::<FailureClass>().is_err());
     }
 
     #[test]

@@ -55,11 +55,53 @@ impl SystemGroup {
             SystemGroup::Group2 => HardwareClass::Numa,
         }
     }
+
+    /// The compact wire form used by serialized analysis requests
+    /// (`"group1"` / `"group2"`); round-trips through [`FromStr`](std::str::FromStr).
+    pub const fn wire(self) -> &'static str {
+        match self {
+            SystemGroup::Group1 => "group1",
+            SystemGroup::Group2 => "group2",
+        }
+    }
 }
 
 impl fmt::Display for SystemGroup {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`SystemGroup`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGroupError(String);
+
+impl fmt::Display for ParseGroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown system group {:?}, expected group1 or group2",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseGroupError {}
+
+impl std::str::FromStr for SystemGroup {
+    type Err = ParseGroupError;
+
+    /// Accepts the wire form (`group1`), the paper's label
+    /// (`LANL Group-1`), and a few obvious shorthands (`g1`, `1`),
+    /// all case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut key = s.to_ascii_lowercase();
+        key.retain(|c| !matches!(c, ' ' | '-' | '_'));
+        match key.strip_prefix("lanl").unwrap_or(&key) {
+            "group1" | "g1" | "1" => Ok(SystemGroup::Group1),
+            "group2" | "g2" | "2" => Ok(SystemGroup::Group2),
+            _ => Err(ParseGroupError(s.to_owned())),
+        }
     }
 }
 
@@ -153,5 +195,16 @@ mod tests {
         assert_eq!(SystemGroup::Group1.label(), "LANL Group-1");
         assert_eq!(SystemGroup::Group2.hardware_class(), HardwareClass::Numa);
         assert_eq!(HardwareClass::Smp4Way.to_string(), "4-way SMP");
+    }
+
+    #[test]
+    fn group_wire_roundtrip() {
+        for g in SystemGroup::ALL {
+            assert_eq!(g.wire().parse::<SystemGroup>().unwrap(), g);
+            assert_eq!(g.label().parse::<SystemGroup>().unwrap(), g);
+        }
+        assert_eq!("G1".parse::<SystemGroup>().unwrap(), SystemGroup::Group1);
+        assert_eq!("2".parse::<SystemGroup>().unwrap(), SystemGroup::Group2);
+        assert!("group3".parse::<SystemGroup>().is_err());
     }
 }

@@ -46,23 +46,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert_eq!(reloaded.jobs().len(), system.jobs().len());
     }
 
-    // ... and identical analysis results.
-    let before = CorrelationAnalysis::new(&store).group_conditional(
+    // ... and identical analysis results: the engine fingerprints each
+    // trace, and identical data means identical fingerprints and
+    // byte-identical answers for any request.
+    let original = Engine::new(store);
+    let reloaded = Engine::new(loaded);
+    assert_eq!(original.fingerprint(), reloaded.fingerprint());
+    let request = AnalysisRequest::Conditional {
+        group: SystemGroup::Group1,
+        trigger: FailureClass::Any,
+        target: FailureClass::Any,
+        window: Window::Week,
+        scope: Scope::SameNode,
+    };
+    let before = original.run(&request).to_json().pretty();
+    assert_eq!(before, reloaded.run(&request).to_json().pretty());
+    let after = reloaded.correlation().group_conditional(
         SystemGroup::Group1,
         FailureClass::Any,
         FailureClass::Any,
         Window::Week,
         Scope::SameNode,
     );
-    let after = CorrelationAnalysis::new(&loaded).group_conditional(
-        SystemGroup::Group1,
-        FailureClass::Any,
-        FailureClass::Any,
-        Window::Week,
-        Scope::SameNode,
-    );
-    assert_eq!(before.conditional, after.conditional);
-    assert_eq!(before.baseline, after.baseline);
     println!(
         "\nweekly post-failure probability survives the round-trip: {:.2}% (factor {})",
         after.conditional.estimate() * 100.0,

@@ -18,7 +18,7 @@ use hpcfail::report::table::Table;
 
 fn main() {
     println!("generating demo fleet...");
-    let store = FleetSpec::demo().generate(11).into_store();
+    let engine = Engine::new(FleetSpec::demo().generate(11).into_store());
 
     let triggers = [
         ("any failure", FailureClass::Any),
@@ -34,7 +34,7 @@ fn main() {
     for (name, trigger) in triggers {
         for window in Window::ALL {
             let rule = AlarmRule { trigger, window };
-            let eval = rule.evaluate_group(&store, SystemGroup::Group1);
+            let eval = rule.evaluate_group(engine.trace(), SystemGroup::Group1);
             if eval.alarms == 0 {
                 continue;
             }

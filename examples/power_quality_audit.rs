@@ -10,15 +10,15 @@
 //! cargo run --example power_quality_audit --release
 //! ```
 
-use hpcfail::analysis::power::{PowerAnalysis, PowerProblem};
+use hpcfail::analysis::power::PowerProblem;
 use hpcfail::prelude::*;
 use hpcfail::report::fmt::{factor, pct};
 use hpcfail::report::table::Table;
 
 fn main() {
     println!("generating demo fleet...");
-    let store = FleetSpec::demo().generate(7).into_store();
-    let analysis = PowerAnalysis::new(&store);
+    let engine = Engine::new(FleetSpec::demo().generate(7).into_store());
+    let analysis = engine.power();
 
     // What kinds of environmental problems does the machine room see?
     println!("\nenvironmental failure mix:");

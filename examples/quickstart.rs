@@ -11,16 +11,17 @@ use hpcfail::report::figures::render_conditional_table;
 
 fn main() {
     // A small two-year fleet: two SMP systems and one NUMA system.
-    // Generation is deterministic for a given seed.
+    // Generation is deterministic for a given seed. The engine is the
+    // single entry point to every analysis.
     println!("generating demo fleet...");
-    let store = FleetSpec::demo().generate(42).into_store();
+    let engine = Engine::new(FleetSpec::demo().generate(42).into_store());
     println!(
         "{} systems, {} failures total\n",
-        store.len(),
-        store.total_failures()
+        engine.trace().len(),
+        engine.trace().total_failures()
     );
 
-    let analysis = CorrelationAnalysis::new(&store);
+    let analysis = engine.correlation();
 
     // Section III-A.1: the conditional-vs-random comparison.
     for group in SystemGroup::ALL {
@@ -61,4 +62,16 @@ fn main() {
         })
         .collect();
     println!("{}", render_conditional_table(&bars));
+
+    // The same question as a typed, serializable request — exactly what
+    // the `hpcfail-serve` server answers over HTTP.
+    let request = AnalysisRequest::Conditional {
+        group: SystemGroup::Group1,
+        trigger: FailureClass::Any,
+        target: FailureClass::Any,
+        window: Window::Week,
+        scope: Scope::SameNode,
+    };
+    println!("as a request:\n{}", request.canonical());
+    println!("as a result:\n{}", engine.run(&request).to_json().pretty());
 }

@@ -6,19 +6,17 @@
 //! cargo run --example reliability_report --release
 //! ```
 
-use hpcfail::analysis::availability::AvailabilityAnalysis;
-use hpcfail::analysis::interarrival::ArrivalAnalysis;
 use hpcfail::prelude::*;
 use hpcfail::report::fmt::{factor, pct};
 use hpcfail::report::table::Table;
 
 fn main() {
     println!("generating demo fleet...");
-    let store = FleetSpec::demo().generate(17).into_store();
+    let engine = Engine::new(FleetSpec::demo().generate(17).into_store());
 
     // 1. The headline availability numbers.
     println!("\n== availability ==");
-    let availability = AvailabilityAnalysis::new(&store);
+    let availability = engine.availability();
     let mut t = Table::new(&[
         "system",
         "node MTBF (h)",
@@ -41,8 +39,8 @@ fn main() {
     // 2. Does the failure process cluster? (It does — plan checkpoints
     //    accordingly.)
     println!("== failure process character ==");
-    let arrivals = ArrivalAnalysis::new(&store);
-    for system in store.systems() {
+    let arrivals = engine.arrivals();
+    for system in engine.trace().systems() {
         match arrivals.profile(system.id(), FailureClass::Any) {
             Ok(p) => println!(
                 "  {}: MTBF {:.0}h, best fit {}, clustering {}",
@@ -57,7 +55,7 @@ fn main() {
 
     // 3. Top risk factors, from the conditional analyses.
     println!("\n== top follow-up risks (week after trigger, group 1) ==");
-    let correlation = CorrelationAnalysis::new(&store);
+    let correlation = engine.correlation();
     let mut risks: Vec<(String, f64, f64)> = FailureClass::FIGURE1
         .iter()
         .map(|&class| {
@@ -86,8 +84,8 @@ fn main() {
 
     // 4. The watch list: most failure-prone nodes.
     println!("\n== watch list ==");
-    let nodes = NodeAnalysis::new(&store);
-    for system in store.systems() {
+    let nodes = engine.nodes();
+    for system in engine.trace().systems() {
         let id = system.id();
         if let Some(worst) = nodes.most_failure_prone(id) {
             let counts = nodes.failure_counts(id);

@@ -9,21 +9,22 @@
 //! - [`stats`] — the statistics substrate (distributions, tests, GLMs).
 //! - [`store`] — the indexed trace store with LANL-format CSV I/O.
 //! - [`synth`] — the synthetic LANL-like fleet generator.
-//! - [`analysis`] — the paper's analyses (Sections III-X).
+//! - [`analysis`] — the paper's analyses (Sections III-X) behind the
+//!   typed [`Engine`](analysis::engine::Engine) entry point.
 //! - [`report`] — plain-text tables, bar charts and TSV export.
+//! - [`serve`] — a concurrent query service over the engine.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use hpcfail::prelude::*;
 //!
-//! // Generate a small synthetic fleet (deterministic under the seed).
-//! let fleet = FleetSpec::demo().generate(42);
-//! let store = fleet.into_store();
+//! // Generate a small synthetic fleet (deterministic under the seed)
+//! // and wrap it in the analysis engine.
+//! let engine = Engine::new(FleetSpec::demo().generate(42).into_store());
 //!
 //! // How much more likely is a node to fail in the week after a failure?
-//! let analysis = CorrelationAnalysis::new(&store);
-//! let week = analysis.group_conditional(
+//! let week = engine.correlation().group_conditional(
 //!     SystemGroup::Group1,
 //!     FailureClass::Any,
 //!     FailureClass::Any,
@@ -31,10 +32,24 @@
 //!     Scope::SameNode,
 //! );
 //! assert!(week.conditional.estimate() > week.baseline.estimate());
+//!
+//! // The same question as a serializable request — what the `hpcfail-serve`
+//! // server, the repro harness, and the CLI all speak.
+//! let request = AnalysisRequest::Conditional {
+//!     group: SystemGroup::Group1,
+//!     trigger: FailureClass::Any,
+//!     target: FailureClass::Any,
+//!     window: Window::Week,
+//!     scope: Scope::SameNode,
+//! };
+//! let round_tripped = AnalysisRequest::parse(&request.canonical()).unwrap();
+//! let result = engine.run(&round_tripped);
+//! assert!(result.to_json().pretty().contains("conditional"));
 //! ```
 
 pub use hpcfail_core as analysis;
 pub use hpcfail_report as report;
+pub use hpcfail_serve as serve;
 pub use hpcfail_stats as stats;
 pub use hpcfail_store as store;
 pub use hpcfail_synth as synth;

@@ -1,8 +1,6 @@
 //! Full CSV pipeline: a generated fleet survives the on-disk round-trip
 //! with identical records and identical analysis results.
 
-use hpcfail::analysis::correlation::{CorrelationAnalysis, Scope};
-use hpcfail::analysis::power::PowerAnalysis;
 use hpcfail::prelude::*;
 use hpcfail::store::csv::{load_trace, save_trace};
 
@@ -31,18 +29,18 @@ fn full_fleet_roundtrip_preserves_analyses() {
     assert_eq!(loaded.neutron_samples(), store.neutron_samples());
 
     // Analyses identical.
-    let before = CorrelationAnalysis::new(&store);
-    let after = CorrelationAnalysis::new(&loaded);
+    let before = Engine::new(store);
+    let after = Engine::new(loaded);
     for group in SystemGroup::ALL {
         for scope in [Scope::SameNode, Scope::SameRack] {
-            let a = before.group_conditional(
+            let a = before.correlation().group_conditional(
                 group,
                 FailureClass::Root(RootCause::Hardware),
                 FailureClass::Any,
                 Window::Week,
                 scope,
             );
-            let b = after.group_conditional(
+            let b = after.correlation().group_conditional(
                 group,
                 FailureClass::Root(RootCause::Hardware),
                 FailureClass::Any,
@@ -53,9 +51,10 @@ fn full_fleet_roundtrip_preserves_analyses() {
             assert_eq!(a.baseline, b.baseline);
         }
     }
-    let env_a = PowerAnalysis::new(&store).env_breakdown();
-    let env_b = PowerAnalysis::new(&loaded).env_breakdown();
+    let env_a = before.power().env_breakdown();
+    let env_b = after.power().env_breakdown();
     assert_eq!(env_a, env_b);
+    assert_eq!(before.fingerprint(), after.fingerprint());
 }
 
 #[test]

@@ -2,18 +2,12 @@
 //! a fleet, run every analysis, and check that each section's headline
 //! observation re-emerges from the data.
 
-use hpcfail::analysis::correlation::{CorrelationAnalysis, Scope};
-use hpcfail::analysis::cosmic::CosmicAnalysis;
-use hpcfail::analysis::nodes::NodeAnalysis;
-use hpcfail::analysis::pairwise::PairwiseAnalysis;
-use hpcfail::analysis::power::{PowerAnalysis, PowerProblem};
+use hpcfail::analysis::correlation::Scope;
+use hpcfail::analysis::power::PowerProblem;
 use hpcfail::analysis::regression_study::{RegressionStudy, StudyFamily};
-use hpcfail::analysis::temperature::{TempPredictor, TemperatureAnalysis};
-use hpcfail::analysis::usage::UsageAnalysis;
-use hpcfail::analysis::users::UserAnalysis;
+use hpcfail::analysis::temperature::TempPredictor;
 use hpcfail::prelude::*;
 use hpcfail::stats::glm::Family;
-use hpcfail::store::trace::Trace;
 use std::sync::OnceLock;
 
 /// One moderately sized fleet shared by all assertions (a scaled LANL
@@ -22,16 +16,16 @@ use std::sync::OnceLock;
 /// The seed pins one concrete realization; it was re-picked when the
 /// workspace switched to the vendored `rand` (different streams than
 /// upstream) so every statistical assertion holds with margin.
-fn fleet() -> &'static Trace {
-    static FLEET: OnceLock<Trace> = OnceLock::new();
-    FLEET.get_or_init(|| FleetSpec::lanl_scaled(0.5).generate(46).into_store())
+fn fleet() -> &'static Engine {
+    static FLEET: OnceLock<Engine> = OnceLock::new();
+    FLEET.get_or_init(|| Engine::new(FleetSpec::lanl_scaled(0.5).generate(46).into_store()))
 }
 
 #[test]
 fn failures_cluster_after_failures() {
     // Section III-A.1: markedly higher failure probability after a
     // failure, in both groups, at day and week granularity.
-    let analysis = CorrelationAnalysis::new(fleet());
+    let analysis = fleet().correlation();
     for group in SystemGroup::ALL {
         for window in [Window::Day, Window::Week] {
             let e = analysis.group_conditional(
@@ -52,7 +46,7 @@ fn failures_cluster_after_failures() {
 fn group1_baselines_near_paper() {
     // Paper: 0.31% daily / 2.04% weekly for group 1 — check the order
     // of magnitude survives scaling.
-    let analysis = CorrelationAnalysis::new(fleet());
+    let analysis = fleet().correlation();
     let day = analysis.group_conditional(
         SystemGroup::Group1,
         FailureClass::Any,
@@ -68,7 +62,7 @@ fn group1_baselines_near_paper() {
 fn environment_and_network_are_strong_triggers() {
     // Figure 1(a): env/net among the strongest follow-up triggers;
     // human error the weakest.
-    let analysis = CorrelationAnalysis::new(fleet());
+    let analysis = fleet().correlation();
     let factor = |class| {
         analysis
             .group_conditional(
@@ -96,7 +90,7 @@ fn environment_and_network_are_strong_triggers() {
 fn same_type_predicts_best() {
     // Figure 1(b): conditioning on the same type beats conditioning on
     // any type, for every root cause with enough data.
-    let analysis = PairwiseAnalysis::new(fleet());
+    let analysis = fleet().pairwise();
     let rows = analysis.same_type_summaries(SystemGroup::Group1, Window::Week, Scope::SameNode);
     let mut checked = 0;
     for row in rows {
@@ -124,7 +118,7 @@ fn same_type_predicts_best() {
 fn memory_failures_repeat() {
     // Section III-A.4: strong same-type correlation for memory —
     // evidence for hard errors.
-    let analysis = CorrelationAnalysis::new(fleet());
+    let analysis = fleet().correlation();
     let mem = FailureClass::Hw(HardwareComponent::MemoryDimm);
     let e =
         analysis.group_conditional(SystemGroup::Group1, mem, mem, Window::Week, Scope::SameNode);
@@ -136,7 +130,7 @@ fn memory_failures_repeat() {
 #[test]
 fn rack_correlation_weaker_than_node_stronger_than_system() {
     // Sections III-B/C: same-node >> same-rack > same-system.
-    let analysis = CorrelationAnalysis::new(fleet());
+    let analysis = fleet().correlation();
     let factor = |scope| {
         analysis
             .group_conditional(
@@ -161,7 +155,7 @@ fn rack_correlation_weaker_than_node_stronger_than_system() {
 fn node0_dominates_failure_counts() {
     // Section IV: node 0 fails far more than the rest; equal-rates
     // hypothesis rejected even without it.
-    let analysis = NodeAnalysis::new(fleet());
+    let analysis = fleet().nodes();
     for id in [18u16, 19, 20] {
         let system = SystemId::new(id);
         let counts = analysis.failure_counts(system);
@@ -189,7 +183,7 @@ fn node0_dominates_failure_counts() {
 fn node0_shifts_toward_env_net_sw() {
     // Figures 5/6: node 0's increase is strongest for environment,
     // network and software failures; hardware modest in comparison.
-    let analysis = NodeAnalysis::new(fleet());
+    let analysis = fleet().nodes();
     let system = SystemId::new(18);
     let factor = |class| {
         analysis
@@ -211,7 +205,7 @@ fn node0_shifts_toward_env_net_sw() {
 fn usage_correlation_carried_by_node0() {
     // Section V: positive job/failure correlation, collapsing when
     // node 0 is removed.
-    let analysis = UsageAnalysis::new(fleet());
+    let analysis = fleet().usage();
     for id in [8u16, 20] {
         let r = analysis.jobs_failures_pearson(SystemId::new(id));
         let all = r.all_nodes.expect("jobs data present");
@@ -224,7 +218,7 @@ fn usage_correlation_carried_by_node0() {
 #[test]
 fn heavy_users_fail_at_different_rates() {
     // Section VI: saturated per-user model beats the common rate.
-    let analysis = UserAnalysis::new(fleet());
+    let analysis = fleet().users();
     for id in [8u16, 20] {
         let top = analysis.heaviest_users(SystemId::new(id), 50);
         assert_eq!(top.len(), 50, "system {id} has 50 heavy users");
@@ -237,7 +231,7 @@ fn heavy_users_fail_at_different_rates() {
 fn power_problems_dominate_env_failures() {
     // Figure 9: power-related sub-causes are the majority of
     // environmental failures.
-    let analysis = PowerAnalysis::new(fleet());
+    let analysis = fleet().power();
     let shares = analysis.env_shares();
     let power: f64 = shares
         .iter()
@@ -251,7 +245,7 @@ fn power_problems_dominate_env_failures() {
 fn power_problems_raise_hardware_and_software_failures() {
     // Figures 10/11 (left): significant increases for every power
     // problem at the month window.
-    let analysis = PowerAnalysis::new(fleet());
+    let analysis = fleet().power();
     for problem in PowerProblem::ALL {
         for target in [
             FailureClass::Root(RootCause::Hardware),
@@ -271,7 +265,7 @@ fn power_problems_raise_hardware_and_software_failures() {
 fn cpus_least_affected_by_power() {
     // Figure 10 (right): CPUs show the smallest increase of all
     // components after power problems.
-    let analysis = PowerAnalysis::new(fleet());
+    let analysis = fleet().power();
     let rows = analysis.figure10_right();
     let avg_factor = |component: HardwareComponent| {
         let fs: Vec<f64> = rows
@@ -298,7 +292,7 @@ fn cpus_least_affected_by_power() {
 #[test]
 fn storage_software_fails_after_power_problems() {
     // Figure 11 (right): DST dominates software failures after outages.
-    let analysis = PowerAnalysis::new(fleet());
+    let analysis = fleet().power();
     let dst = analysis.conditional_after(
         PowerProblem::Outage,
         FailureClass::Sw(SoftwareCause::Dst),
@@ -320,7 +314,7 @@ fn storage_software_fails_after_power_problems() {
 #[test]
 fn power_problems_trigger_unscheduled_maintenance() {
     // Section VII-A.2: maintenance probability rises by a large factor.
-    let analysis = PowerAnalysis::new(fleet());
+    let analysis = fleet().power();
     let outage = analysis.maintenance_after(PowerProblem::Outage);
     let f = outage.factor().expect("baseline positive");
     assert!(f > 5.0, "outage maintenance factor {f}");
@@ -331,7 +325,7 @@ fn power_problems_trigger_unscheduled_maintenance() {
 fn fan_failures_precede_hardware_failures() {
     // Figure 13: fan failures strongly elevate subsequent hardware
     // failures; MSC boards and midplanes respond only to fans.
-    let analysis = TemperatureAnalysis::new(fleet());
+    let analysis = fleet().temperature();
     let rows = analysis.figure13_left();
     let fan_day = rows
         .iter()
@@ -348,7 +342,7 @@ fn fan_failures_precede_hardware_failures() {
 fn average_temperature_not_predictive() {
     // Section VIII-A: under the overdispersion-robust NB model, the
     // temperature aggregates do not predict hardware outages.
-    let analysis = TemperatureAnalysis::new(fleet());
+    let analysis = fleet().temperature();
     let fit = analysis
         .regression(
             SystemId::new(20),
@@ -368,7 +362,7 @@ fn cpu_tracks_neutron_flux_dram_does_not() {
     // At reduced scale each system spans only part of a solar cycle,
     // so judge the *mean* correlation across systems, as the paper's
     // per-system panels do qualitatively.
-    let analysis = CosmicAnalysis::new(fleet());
+    let analysis = fleet().cosmic();
     let mut cpu_sum = 0.0;
     let mut dram_sum = 0.0;
     let mut systems = 0;
@@ -395,7 +389,7 @@ fn cpu_tracks_neutron_flux_dram_does_not() {
 #[test]
 fn joint_regression_finds_usage_most_significant() {
     // Section X / Tables II-III: usage variables carry the signal.
-    let study = RegressionStudy::new(fleet());
+    let study = fleet().regression();
     let pois = study
         .fit(SystemId::new(20), StudyFamily::Poisson, false)
         .expect("fits");
