@@ -66,3 +66,54 @@ fn manifest_describes_the_run() {
     assert!(manifest.snapshot.counters["store.rows_scanned"] > 0);
     assert!(manifest.snapshot.spans.contains_key("repro.generate"));
 }
+
+#[test]
+fn written_manifest_round_trips_byte_identically() {
+    let path =
+        std::env::temp_dir().join(format!("hpcfail-manifest-rt-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "0.05", "--seed", "7", "--quiet", "sec3a"])
+        .arg("--manifest")
+        .arg(&path)
+        .output()
+        .expect("repro runs");
+    assert!(output.status.success());
+    let written = std::fs::read_to_string(&path).expect("manifest written");
+    std::fs::remove_file(&path).ok();
+
+    let parsed = RunManifest::from_json_str(&written).expect("manifest parses");
+    assert_eq!(
+        parsed.to_json().pretty(),
+        written,
+        "parse -> re-serialize reproduces the exact bytes on disk"
+    );
+}
+
+#[test]
+fn old_format_manifest_without_p95_still_parses() {
+    // A manifest written before histograms carried p95 and before the
+    // windows section existed. Tools must keep reading these.
+    let old = r#"{
+  "schema_version": 1,
+  "seed": 7,
+  "scale": 0.05,
+  "git_describe": null,
+  "spans": [
+    {"name": "exp.sec3a", "count": 1, "total_ns": 10, "self_ns": 10}
+  ],
+  "counters": {"bench.experiments_run": 1},
+  "gauges": {},
+  "histograms": {
+    "engine.lat_ns": {"count": 2, "sum": 30, "max": 20, "p50": 10.0, "p90": 20.0, "p99": 20.0}
+  }
+}"#;
+    let manifest = RunManifest::from_json_str(old).expect("pre-p95 manifest parses");
+    assert_eq!(manifest.seed, 7);
+    let hist = &manifest.snapshot.histograms["engine.lat_ns"];
+    assert_eq!(hist.count, 2);
+    assert_eq!(hist.p95, 0.0, "absent p95 defaults to zero");
+    assert!(
+        manifest.snapshot.windows.is_empty(),
+        "absent windows section defaults to empty"
+    );
+}

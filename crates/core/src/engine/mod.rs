@@ -160,7 +160,9 @@ impl Engine {
     /// empty/`None`/`Err` payloads inside the result, mirroring the
     /// underlying per-analysis APIs.
     pub fn run(&self, request: &AnalysisRequest) -> AnalysisResult {
-        let _span = hpcfail_obs::span(&format!("engine.run.{}", request.kind()));
+        let span = hpcfail_obs::span(&format!("engine.run.{}", request.kind()));
+        span.attr("kind", request.kind());
+        let _span = span;
         hpcfail_obs::counter("engine.requests").inc();
         match request {
             AnalysisRequest::TraceSummary => AnalysisResult::TraceSummary(TraceSummary {

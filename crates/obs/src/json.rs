@@ -57,6 +57,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value, when this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -79,6 +87,45 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Serializes on a single line with no whitespace — the JSONL form
+    /// used by the serve access log.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -396,6 +443,22 @@ mod tests {
         let text = doc.pretty();
         let back = parse(&text).expect("round trip parses");
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let doc = Json::obj([
+            ("kind", Json::Str("trace-summary".into())),
+            ("latency_us", Json::Num(125.0)),
+            ("cache", Json::Null),
+            ("ids", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        let text = doc.compact();
+        assert!(!text.contains('\n'));
+        assert!(!text.contains(' '));
+        assert_eq!(parse(&text).expect("round trip"), doc);
+        assert_eq!(Json::Obj(BTreeMap::new()).compact(), "{}");
+        assert_eq!(Json::Arr(Vec::new()).compact(), "[]");
     }
 
     #[test]

@@ -47,13 +47,19 @@ pub mod manifest;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 pub use registry::{Registry, Snapshot};
+pub use trace::{TraceContext, TraceRecording};
+pub use window::WindowedSnapshot;
 
 #[cfg(not(feature = "no-obs"))]
 mod front_door {
     use crate::registry::{self, Counter, Gauge, Histogram};
     use crate::span::Span;
+    use crate::trace::{ActiveTrace, TraceContext};
+    use crate::window::WindowHistogram;
 
     /// Opens a wall-time span on the global registry; it closes (and
     /// records) when the returned guard drops.
@@ -77,6 +83,27 @@ mod front_door {
         registry::global().histogram(name)
     }
 
+    /// The global sliding-window histogram named `name` (exponential
+    /// nanosecond bounds, 30 s window).
+    pub fn window(name: &str) -> WindowHistogram {
+        registry::global().window(name)
+    }
+
+    /// Starts capturing a request-scoped trace on this thread: opens
+    /// the root span `name` and returns the guard. See
+    /// [`crate::trace::ActiveTrace`].
+    #[must_use = "the trace records only until its guard drops; call finish() to collect it"]
+    pub fn start_trace(name: &str) -> ActiveTrace {
+        ActiveTrace::start(name)
+    }
+
+    /// Starts capturing a trace with an explicit context (propagated or
+    /// seeded trace ids).
+    #[must_use = "the trace records only until its guard drops; call finish() to collect it"]
+    pub fn start_trace_with(name: &str, context: TraceContext) -> ActiveTrace {
+        ActiveTrace::start_with(name, context)
+    }
+
     /// A snapshot of the global registry.
     pub fn snapshot() -> crate::registry::Snapshot {
         registry::global().snapshot()
@@ -90,6 +117,12 @@ mod front_door {
     /// Inert guard standing in for [`crate::span::Span`].
     #[derive(Debug, Clone, Copy)]
     pub struct NoopSpan;
+
+    impl NoopSpan {
+        /// No-op; see [`crate::span::Span::attr`].
+        #[inline(always)]
+        pub fn attr(&self, _key: &str, _value: &str) {}
+    }
 
     /// No-op; see the instrumented variant.
     #[inline(always)]
@@ -166,6 +199,74 @@ mod front_door {
     #[inline(always)]
     pub fn histogram(_name: &str) -> NoopHistogram {
         NoopHistogram
+    }
+
+    /// Inert sliding-window histogram handle.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NoopWindow;
+
+    impl NoopWindow {
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _value: u64) {}
+
+        /// An all-zero snapshot.
+        #[inline(always)]
+        pub fn snapshot(&self) -> crate::window::WindowedSnapshot {
+            crate::window::WindowedSnapshot::default()
+        }
+    }
+
+    /// No-op; see the instrumented variant.
+    #[inline(always)]
+    pub fn window(_name: &str) -> NoopWindow {
+        NoopWindow
+    }
+
+    /// Inert trace guard: same surface as
+    /// [`crate::trace::ActiveTrace`], records nothing.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NoopTrace;
+
+    impl NoopTrace {
+        /// A zeroed context.
+        #[inline(always)]
+        pub fn context(&self) -> crate::trace::TraceContext {
+            crate::trace::TraceContext {
+                trace_id: 0,
+                span_id: 0,
+            }
+        }
+
+        /// Sixteen zeros: no ids are allocated without instrumentation.
+        #[inline(always)]
+        pub fn trace_id_hex(&self) -> String {
+            "0000000000000000".to_owned()
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn attr(&self, _key: &str, _value: &str) {}
+
+        /// Always `None`: nothing was captured.
+        #[inline(always)]
+        pub fn finish(self) -> Option<crate::trace::TraceRecording> {
+            None
+        }
+    }
+
+    /// No-op; see the instrumented variant.
+    #[inline(always)]
+    #[must_use = "the trace records only until its guard drops; call finish() to collect it"]
+    pub fn start_trace(_name: &str) -> NoopTrace {
+        NoopTrace
+    }
+
+    /// No-op; see the instrumented variant.
+    #[inline(always)]
+    #[must_use = "the trace records only until its guard drops; call finish() to collect it"]
+    pub fn start_trace_with(_name: &str, _context: crate::trace::TraceContext) -> NoopTrace {
+        NoopTrace
     }
 
     /// An empty snapshot.

@@ -9,6 +9,7 @@
 use crate::json::{self, Json};
 use crate::registry::{HistogramSnapshot, Snapshot, SpanSnapshot};
 use crate::sink::Sink;
+use crate::window::WindowedSnapshot;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
@@ -82,7 +83,29 @@ impl RunManifest {
                             ("max", Json::Num(h.max as f64)),
                             ("p50", Json::Num(h.p50)),
                             ("p90", Json::Num(h.p90)),
+                            ("p95", Json::Num(h.p95)),
                             ("p99", Json::Num(h.p99)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let windows = Json::Obj(
+            self.snapshot
+                .windows
+                .iter()
+                .map(|(k, w)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("window_ms", Json::Num(w.window_ms as f64)),
+                            ("count", Json::Num(w.count as f64)),
+                            ("sum", Json::Num(w.sum as f64)),
+                            ("max", Json::Num(w.max as f64)),
+                            ("p50", Json::Num(w.p50)),
+                            ("p90", Json::Num(w.p90)),
+                            ("p95", Json::Num(w.p95)),
+                            ("p99", Json::Num(w.p99)),
                         ]),
                     )
                 })
@@ -103,6 +126,7 @@ impl RunManifest {
             ("counters", counters),
             ("gauges", gauges),
             ("histograms", histograms),
+            ("windows", windows),
         ])
     }
 
@@ -194,6 +218,33 @@ impl RunManifest {
                         max: field("max")? as u64,
                         p50: field("p50")?,
                         p90: field("p90")?,
+                        // Absent from manifests written before p95
+                        // joined the snapshot; 0 marks "not recorded".
+                        p95: v.get("p95").and_then(Json::as_f64).unwrap_or(0.0),
+                        p99: field("p99")?,
+                    },
+                );
+            }
+        }
+        // Absent from manifests written before sliding windows existed.
+        let mut windows = BTreeMap::new();
+        if let Some(Json::Obj(map)) = doc.get("windows") {
+            for (k, v) in map {
+                let field = |key: &str| {
+                    v.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("window {k:?} missing {key:?}"))
+                };
+                windows.insert(
+                    k.clone(),
+                    WindowedSnapshot {
+                        window_ms: field("window_ms")? as u64,
+                        count: field("count")? as u64,
+                        sum: field("sum")? as u64,
+                        max: field("max")? as u64,
+                        p50: field("p50")?,
+                        p90: field("p90")?,
+                        p95: field("p95")?,
                         p99: field("p99")?,
                     },
                 );
@@ -207,6 +258,7 @@ impl RunManifest {
                 counters,
                 gauges,
                 histograms,
+                windows,
                 spans,
             },
         })
@@ -294,6 +346,54 @@ mod tests {
         assert_eq!(back.snapshot.counters, manifest.snapshot.counters);
         assert_eq!(back.snapshot.gauges, manifest.snapshot.gauges);
         assert!(back.snapshot.spans.contains_key("experiment.sec3a"));
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let registry = Registry::new();
+        registry.counter("serve.requests").add(17);
+        registry.gauge("serve.inflight").set(2.0);
+        let h = registry.histogram("serve.latency_ns");
+        for v in [900, 1_500, 40_000, 2_000_000] {
+            h.record(v);
+        }
+        registry
+            .window("serve.window.latency_ns")
+            .record_at_ms(0, 1234);
+        let manifest = RunManifest::new(9, 0.5, None, registry.snapshot());
+
+        let text = manifest.to_json().pretty();
+        let back = RunManifest::from_json_str(&text).expect("parses");
+        assert_eq!(back, manifest);
+        let rewritten = back.to_json().pretty();
+        assert_eq!(rewritten, text, "write -> parse -> re-write must be stable");
+    }
+
+    #[test]
+    fn old_manifest_without_p95_or_windows_still_parses() {
+        // The exact shape manifests had before p95 and sliding windows
+        // joined the schema.
+        let text = r#"{
+            "schema_version": 1,
+            "seed": 3,
+            "scale": 1.0,
+            "git_describe": null,
+            "spans": [{"name": "engine.run", "count": 2, "total_ns": 10, "self_ns": 10}],
+            "counters": {"serve.requests": 5},
+            "gauges": {},
+            "histograms": {
+                "serve.latency_ns": {
+                    "count": 5, "sum": 50, "max": 20,
+                    "p50": 8.0, "p90": 18.0, "p99": 20.0
+                }
+            }
+        }"#;
+        let back = RunManifest::from_json_str(text).expect("old manifests stay parseable");
+        let hist = &back.snapshot.histograms["serve.latency_ns"];
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.p95, 0.0, "missing p95 defaults to zero");
+        assert_eq!(hist.p99, 20.0);
+        assert!(back.snapshot.windows.is_empty());
     }
 
     #[test]

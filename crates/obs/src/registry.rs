@@ -6,6 +6,7 @@
 //! a held handle is a single atomic operation, so hot loops should
 //! register once outside the loop and update inside it.
 
+use crate::window::{WindowHistogram, WindowedSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -218,6 +219,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    windows: Mutex<BTreeMap<String, WindowHistogram>>,
     spans: Mutex<BTreeMap<String, SpanCell>>,
 }
 
@@ -271,6 +273,25 @@ impl Registry {
         map.entry(name.to_owned()).or_insert_with(make).clone()
     }
 
+    /// The sliding-window histogram named `name`, created on first use
+    /// with the default layout
+    /// ([`WindowHistogram::exponential_ns`]: nanosecond buckets over a
+    /// 30-second window).
+    pub fn window(&self, name: &str) -> WindowHistogram {
+        self.window_with(name, WindowHistogram::exponential_ns)
+    }
+
+    /// The sliding-window histogram named `name`, created on first use
+    /// by `make`.
+    pub fn window_with(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> WindowHistogram,
+    ) -> WindowHistogram {
+        let mut map = self.inner.windows.lock().expect("window registry lock");
+        map.entry(name.to_owned()).or_insert_with(make).clone()
+    }
+
     /// The span cell named `name`, created on first use.
     pub(crate) fn span_cell(&self, name: &str) -> SpanCell {
         let mut map = self.inner.spans.lock().expect("span registry lock");
@@ -313,10 +334,20 @@ impl Registry {
                         max: h.max(),
                         p50: h.quantile(0.50).unwrap_or(0.0),
                         p90: h.quantile(0.90).unwrap_or(0.0),
+                        p95: h.quantile(0.95).unwrap_or(0.0),
                         p99: h.quantile(0.99).unwrap_or(0.0),
                     },
                 )
             })
+            .collect();
+        let windows = self
+            .inner
+            .windows
+            .lock()
+            .expect("window registry lock")
+            .iter()
+            .map(|(k, w)| (k.clone(), w.snapshot()))
+            .filter(|(_, s)| s.count > 0)
             .collect();
         let spans = self
             .inner
@@ -339,6 +370,7 @@ impl Registry {
             counters,
             gauges,
             histograms,
+            windows,
             spans,
         }
     }
@@ -357,6 +389,8 @@ pub struct HistogramSnapshot {
     pub p50: f64,
     /// Estimated 90th percentile.
     pub p90: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
 }
@@ -381,6 +415,9 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram statistics by name (empty histograms are omitted).
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Sliding-window histogram statistics by name (windows currently
+    /// holding no observations are omitted).
+    pub windows: BTreeMap<String, WindowedSnapshot>,
     /// Span timings by name.
     pub spans: BTreeMap<String, SpanSnapshot>,
 }
@@ -469,6 +506,27 @@ mod tests {
                 "q{q}: estimate {estimate} vs exact {exact}, bucket width {width}"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_carries_live_windows_and_p95() {
+        let reg = Registry::new();
+        reg.window("quiet");
+        let live = reg.window("live");
+        for v in 1..=100 {
+            live.record(v * 1_000);
+        }
+        let h = reg.histogram("h");
+        for v in 1..=100 {
+            h.record(v * 1_000);
+        }
+        let snap = reg.snapshot();
+        assert!(!snap.windows.contains_key("quiet"));
+        let w = snap.windows["live"];
+        assert_eq!(w.count, 100);
+        assert!(w.p50 <= w.p90 && w.p90 <= w.p95 && w.p95 <= w.p99);
+        let hist = snap.histograms["h"];
+        assert!(hist.p90 <= hist.p95 && hist.p95 <= hist.p99);
     }
 
     #[test]

@@ -5,14 +5,72 @@
 //! thread keeps a stack, and a parent's *self* time excludes the total
 //! time of the spans entered beneath it, so hierarchical profiles
 //! attribute time to the innermost span doing the work.
+//!
+//! Two consumers observe a span when it closes:
+//!
+//! * the flat per-name aggregates in the [`Registry`] (always), and
+//! * the thread's trace collector (only while an
+//!   [`ActiveTrace`](crate::trace::ActiveTrace) guard is installed),
+//!   which assembles the full parent/child tree with attributes for
+//!   request-scoped tracing.
 
 use crate::registry::{Registry, SpanCell};
+use crate::trace::SpanNode;
 use std::cell::RefCell;
 use std::time::Instant;
 
 thread_local! {
     // One child-time accumulator per open span on this thread.
     static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    // The installed trace collector, if any (see crate::trace).
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Builds one span tree while an `ActiveTrace` guard is installed.
+struct Collector {
+    trace_id: u64,
+    next_span_id: u64,
+    /// Open spans, outermost first.
+    stack: Vec<PendingNode>,
+    /// Set when the outermost captured span closes.
+    finished_root: Option<SpanNode>,
+}
+
+struct PendingNode {
+    name: String,
+    span_id: u64,
+    parent_id: u64,
+    attrs: Vec<(String, String)>,
+    children: Vec<SpanNode>,
+}
+
+/// Installs a collector on this thread. Returns `false` (and installs
+/// nothing) if one is already present — traces do not nest.
+pub(crate) fn install_collector(trace_id: u64) -> bool {
+    COLLECTOR.with_borrow_mut(|slot| {
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(Collector {
+            trace_id,
+            next_span_id: 1,
+            stack: Vec::new(),
+            finished_root: None,
+        });
+        true
+    })
+}
+
+/// Uninstalls the collector, returning the finished tree when the
+/// capture completed (root span closed).
+pub(crate) fn take_collector() -> Option<(u64, SpanNode)> {
+    COLLECTOR
+        .with_borrow_mut(Option::take)
+        .and_then(|collector| {
+            collector
+                .finished_root
+                .map(|root| (collector.trace_id, root))
+        })
 }
 
 /// An open span; closes (and records) on drop.
@@ -34,6 +92,9 @@ thread_local! {
 pub struct Span {
     cell: SpanCell,
     start: Instant,
+    /// The span id the thread's collector assigned, if one was
+    /// installed at enter time.
+    capture_id: Option<u64>,
 }
 
 impl Span {
@@ -46,10 +107,44 @@ impl Span {
     pub fn enter_in(registry: &Registry, name: &str) -> Span {
         let cell = registry.span_cell(name);
         CHILD_NS.with_borrow_mut(|stack| stack.push(0));
+        let capture_id = COLLECTOR.with_borrow_mut(|slot| {
+            let collector = slot.as_mut()?;
+            if collector.finished_root.is_some() {
+                return None; // the capture already completed
+            }
+            let span_id = collector.next_span_id;
+            collector.next_span_id += 1;
+            let parent_id = collector.stack.last().map_or(0, |p| p.span_id);
+            collector.stack.push(PendingNode {
+                name: name.to_owned(),
+                span_id,
+                parent_id,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            });
+            Some(span_id)
+        });
         Span {
             cell,
             start: Instant::now(),
+            capture_id,
         }
+    }
+
+    /// Attaches a `key=value` attribute to this span in the thread's
+    /// trace capture. A no-op when no trace is being captured (the flat
+    /// registry aggregates carry no attributes).
+    pub fn attr(&self, key: &str, value: &str) {
+        let Some(id) = self.capture_id else {
+            return;
+        };
+        COLLECTOR.with_borrow_mut(|slot| {
+            if let Some(collector) = slot.as_mut() {
+                if let Some(node) = collector.stack.iter_mut().rev().find(|n| n.span_id == id) {
+                    node.attrs.push((key.to_owned(), value.to_owned()));
+                }
+            }
+        });
     }
 }
 
@@ -64,8 +159,36 @@ impl Drop for Span {
             }
             child_ns
         });
-        self.cell
-            .record(total_ns, total_ns.saturating_sub(child_ns));
+        let self_ns = total_ns.saturating_sub(child_ns);
+        self.cell.record(total_ns, self_ns);
+
+        if let Some(id) = self.capture_id {
+            COLLECTOR.with_borrow_mut(|slot| {
+                let Some(collector) = slot.as_mut() else {
+                    return; // the capture ended before this span closed
+                };
+                // Strict nesting means this span is the top of the
+                // stack; a mismatch means the capture was replaced
+                // mid-span, in which case the node is abandoned.
+                if collector.stack.last().map(|n| n.span_id) != Some(id) {
+                    return;
+                }
+                let pending = collector.stack.pop().expect("checked non-empty");
+                let node = SpanNode {
+                    name: pending.name,
+                    span_id: pending.span_id,
+                    parent_id: pending.parent_id,
+                    total_ns,
+                    self_ns,
+                    attrs: pending.attrs,
+                    children: pending.children,
+                };
+                match collector.stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => collector.finished_root = Some(node),
+                }
+            });
+        }
     }
 }
 
@@ -121,5 +244,30 @@ mod tests {
             let _s = Span::enter_in(&registry, "loop.body");
         }
         assert_eq!(registry.snapshot().spans["loop.body"].count, 3);
+    }
+
+    #[test]
+    fn attr_without_a_trace_is_a_noop() {
+        let registry = Registry::new();
+        let span = Span::enter_in(&registry, "untraced");
+        span.attr("key", "value"); // must not panic or capture
+        drop(span);
+        assert_eq!(registry.snapshot().spans["untraced"].count, 1);
+    }
+
+    #[test]
+    fn capture_tracks_only_spans_inside_the_trace() {
+        let registry = Registry::new();
+        // A span opened before the trace is never captured.
+        let pre = Span::enter_in(&registry, "pre");
+        assert!(install_collector(11));
+        {
+            let _in_trace = Span::enter_in(&registry, "in_trace");
+        }
+        drop(pre); // closes while captured, but was entered before: skipped
+        let (trace_id, root) = take_collector().expect("capture finished");
+        assert_eq!(trace_id, 11);
+        assert_eq!(root.name, "in_trace");
+        assert_eq!(root.len(), 1);
     }
 }

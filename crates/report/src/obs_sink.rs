@@ -100,8 +100,8 @@ pub fn render(snapshot: &Snapshot) -> String {
         out.push_str(&t.render());
     }
     if !snapshot.histograms.is_empty() {
-        let mut t = Table::new(&["histogram", "count", "p50", "p90", "p99", "max"]);
-        for c in 1..6 {
+        let mut t = Table::new(&["histogram", "count", "p50", "p90", "p95", "p99", "max"]);
+        for c in 1..7 {
             t.align(c, Align::Right);
         }
         for (name, h) in &snapshot.histograms {
@@ -110,6 +110,7 @@ pub fn render(snapshot: &Snapshot) -> String {
                 h.count.to_string(),
                 ms(h.p50),
                 ms(h.p90),
+                ms(h.p95),
                 ms(h.p99),
                 ns(h.max),
             ]);

@@ -1,12 +1,17 @@
-//! The `hpcfail-serve` command: run the analysis query service, or
-//! query a running one (no external HTTP tooling needed).
+//! The `hpcfail-serve` command: run the analysis query service, query
+//! a running one, watch it live, or validate its metrics (no external
+//! HTTP tooling needed).
 //!
 //! ```text
 //! hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
 //!                     [--scale 0.1] [--seed 42]
 //!                     [--trace DIR [--policy strict|lenient|best-effort]]
-//!                     [--manifest PATH] [--quiet]
-//! hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] JSON|-
+//!                     [--manifest PATH] [--access-log PATH]
+//!                     [--slo-latency-ms N] [--slo-error-rate F]
+//!                     [--inject-panic KIND] [--quiet]
+//! hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace] JSON|-
+//! hpcfail-serve top --addr HOST:PORT [--interval-ms 1000] [--frames N]
+//! hpcfail-serve check-metrics (--addr HOST:PORT | --file PATH) [--require SERIES]...
 //! hpcfail-serve requests
 //! ```
 //!
@@ -17,9 +22,11 @@ use hpcfail_obs::manifest::{git_describe, ManifestSink};
 use hpcfail_obs::sink::Sink;
 use hpcfail_serve::client::Client;
 use hpcfail_serve::server::{spawn, ServerConfig};
+use hpcfail_serve::slo::SloPolicy;
+use hpcfail_serve::{promtext, top};
 use hpcfail_store::ingest::{load_trace_with, IngestPolicy};
 use hpcfail_synth::FleetSpec;
-use std::io::Read;
+use std::io::{IsTerminal, Read};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -27,8 +34,12 @@ const USAGE: &str = "usage:
   hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
                       [--scale 0.1] [--seed 42]
                       [--trace DIR [--policy strict|lenient|best-effort]]
-                      [--manifest PATH] [--quiet]
-  hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] JSON|-
+                      [--manifest PATH] [--access-log PATH]
+                      [--slo-latency-ms N] [--slo-error-rate F]
+                      [--inject-panic KIND] [--quiet]
+  hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace] JSON|-
+  hpcfail-serve top --addr HOST:PORT [--interval-ms 1000] [--frames N]
+  hpcfail-serve check-metrics (--addr HOST:PORT | --file PATH) [--require SERIES]...
   hpcfail-serve requests";
 
 fn main() -> ExitCode {
@@ -36,6 +47,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("requests") => {
             for kind in REQUEST_KINDS {
                 println!("{kind}");
@@ -62,6 +75,10 @@ struct ServeArgs {
     trace_dir: Option<String>,
     policy: IngestPolicy,
     manifest: Option<String>,
+    access_log: Option<String>,
+    slo_latency_ms: Option<u64>,
+    slo_error_rate: Option<f64>,
+    inject_panic: Option<String>,
     quiet: bool,
 }
 
@@ -87,6 +104,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         trace_dir: None,
         policy: IngestPolicy::Strict,
         manifest: None,
+        access_log: None,
+        slo_latency_ms: None,
+        slo_error_rate: None,
+        inject_panic: None,
         quiet: false,
     };
     let mut iter = args.iter();
@@ -121,6 +142,20 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     .and_then(|v| v.parse().map(|p| parsed.policy = p)),
                 "--manifest" => take_value("--manifest", &mut iter)
                     .map(|v| parsed.manifest = Some(v.to_owned())),
+                "--access-log" => take_value("--access-log", &mut iter)
+                    .map(|v| parsed.access_log = Some(v.to_owned())),
+                "--slo-latency-ms" => take_value("--slo-latency-ms", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.slo_latency_ms = Some(n))
+                        .map_err(|_| format!("invalid --slo-latency-ms {v:?}"))
+                }),
+                "--slo-error-rate" => take_value("--slo-error-rate", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.slo_error_rate = Some(n))
+                        .map_err(|_| format!("invalid --slo-error-rate {v:?}"))
+                }),
+                "--inject-panic" => take_value("--inject-panic", &mut iter)
+                    .map(|v| parsed.inject_panic = Some(v.to_owned())),
                 "--quiet" => {
                     parsed.quiet = true;
                     Ok(())
@@ -168,10 +203,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
 
     let fingerprint = engine.fingerprint_hex();
+    let default_slo = SloPolicy::default();
     let config = ServerConfig {
         addr: parsed.addr.clone(),
         workers: parsed.workers,
         cache_capacity: parsed.cache,
+        access_log: parsed.access_log.as_ref().map(Into::into),
+        slo: SloPolicy {
+            latency_budget_ms: parsed
+                .slo_latency_ms
+                .unwrap_or(default_slo.latency_budget_ms),
+            max_error_rate: parsed.slo_error_rate.unwrap_or(default_slo.max_error_rate),
+        },
+        inject_panic_kind: parsed.inject_panic.clone(),
         ..ServerConfig::default()
     };
     let handle = match spawn(engine, config) {
@@ -215,6 +259,7 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let mut addr: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut batch = false;
+    let mut trace = false;
     let mut payload: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -227,6 +272,10 @@ fn cmd_query(args: &[String]) -> ExitCode {
             }),
             "--batch" => {
                 batch = true;
+                Ok(())
+            }
+            "--trace" => {
+                trace = true;
                 Ok(())
             }
             other if payload.is_none() && !other.starts_with("--") => {
@@ -269,6 +318,9 @@ fn cmd_query(args: &[String]) -> ExitCode {
     if let Some(ms) = deadline_ms {
         headers.push(("x-deadline-ms".to_owned(), ms.to_string()));
     }
+    if trace {
+        headers.push(("x-trace".to_owned(), "1".to_owned()));
+    }
     let header_refs: Vec<(&str, &str)> = headers
         .iter()
         .map(|(n, v)| (n.as_str(), v.as_str()))
@@ -278,6 +330,9 @@ fn cmd_query(args: &[String]) -> ExitCode {
         Ok(response) => {
             if let Some(cache) = response.header("x-cache") {
                 eprintln!("x-cache: {cache}");
+            }
+            if let Some(trace_id) = response.header("x-trace-id") {
+                eprintln!("x-trace-id: {trace_id}");
             }
             print!("{}", response.body);
             if response.status < 300 {
@@ -291,4 +346,137 @@ fn cmd_query(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_top(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut frames: Option<u64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            "--interval-ms" => take_value("--interval-ms", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n: u64| interval_ms = n.max(10))
+                    .map_err(|_| format!("invalid --interval-ms {v:?}"))
+            }),
+            "--frames" => take_value("--frames", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n: u64| frames = Some(n.max(1)))
+                    .map_err(|_| format!("invalid --frames {v:?}"))
+            }),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("top needs --addr HOST:PORT");
+    };
+    let mut stdout = std::io::stdout();
+    let options = top::TopOptions {
+        addr,
+        interval: Duration::from_millis(interval_ms),
+        frames,
+        // Only repaint in place on a real terminal; piped output (CI)
+        // gets plain appended frames.
+        clear: std::io::stdout().is_terminal() && frames != Some(1),
+    };
+    match top::run(&options, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("top failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check_metrics(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut requires: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            "--file" => take_value("--file", &mut iter).map(|v| file = Some(v.to_owned())),
+            "--require" => take_value("--require", &mut iter).map(|v| requires.push(v.to_owned())),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let text = match (&addr, &file) {
+        (Some(addr), None) => match Client::new(addr.clone()).get("/metrics") {
+            Ok(response) if response.status == 200 => response.body,
+            Ok(response) => {
+                eprintln!("/metrics answered {}", response.status);
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("scrape of {addr} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(path)) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("failed to read {path:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage_error("check-metrics needs exactly one of --addr or --file"),
+    };
+    let scrape = match promtext::parse(&text) {
+        Ok(scrape) => scrape,
+        Err(err) => {
+            eprintln!("invalid Prometheus exposition format: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut missing = 0;
+    for spec in &requires {
+        if check_require(&scrape, spec) {
+            eprintln!("ok: {spec}");
+        } else {
+            eprintln!("MISSING: {spec}");
+            missing += 1;
+        }
+    }
+    println!(
+        "valid: {} samples, {} type declarations, {}/{} required series present",
+        scrape.samples.len(),
+        scrape.types.len(),
+        requires.len() - missing,
+        requires.len()
+    );
+    if missing == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// A `--require` spec is `name` or `name{label="value",...}`; the
+/// scrape satisfies it when some sample has that name and carries
+/// every listed label pair.
+fn check_require(scrape: &promtext::Scrape, spec: &str) -> bool {
+    let (name, label_text) = match spec.split_once('{') {
+        Some((name, rest)) => (name, rest.trim_end_matches('}')),
+        None => (spec, ""),
+    };
+    let mut want: Vec<(String, String)> = Vec::new();
+    for pair in label_text.split(',').filter(|p| !p.trim().is_empty()) {
+        let Some((label, value)) = pair.split_once('=') else {
+            return false;
+        };
+        want.push((
+            label.trim().to_owned(),
+            value.trim().trim_matches('"').to_owned(),
+        ));
+    }
+    scrape.series(name).any(|s| s.matches(&want))
 }

@@ -180,7 +180,9 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
 }
 
 /// Writes one sized response. `extra_headers` are emitted verbatim
-/// after the standard ones.
+/// after the standard ones; supplying a `content-type` there replaces
+/// the default `application/json` (the `/metrics` endpoint answers in
+/// Prometheus text format).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
@@ -189,10 +191,14 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
-        body.len()
-    );
+    let custom_content_type = extra_headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("content-type"));
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    if !custom_content_type {
+        head.push_str("content-type: application/json\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
     for (name, value) in extra_headers {
         head.push_str(name);
         head.push_str(": ");
@@ -271,6 +277,26 @@ mod tests {
         many_headers.push_str("\r\n");
         let err = parse(many_headers.as_bytes()).expect_err("too many");
         assert_eq!(err.status().map(|(s, _)| s), Some(413));
+    }
+
+    #[test]
+    fn extra_content_type_replaces_the_default() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "OK",
+            &[("content-type", "text/plain; version=0.0.4")],
+            "x 1\n",
+            false,
+        )
+        .expect("writes");
+        let text = String::from_utf8(out).expect("utf-8");
+        assert!(text.contains("content-type: text/plain; version=0.0.4\r\n"));
+        assert!(
+            !text.contains("application/json"),
+            "default content type suppressed: {text}"
+        );
     }
 
     #[test]

@@ -20,10 +20,24 @@
 //!   passes before the leader finishes degrades gracefully to a typed
 //!   `504` instead of blocking a worker.
 //!
-//! Observability: `serve.requests`, `serve.cache.hit`,
-//! `serve.cache.miss`, `serve.coalesced`, `serve.degraded` counters,
-//! the `serve.inflight` gauge and per-kind `serve.query.<kind>` spans
-//! all land in the standard `hpcfail-obs` registry, so a server run
+//! Observability is request-scoped and live:
+//!
+//! * Every request runs under a trace; the id comes back in the
+//!   `x-trace-id` header, and `x-trace: 1` returns the full span tree
+//!   inline ([`server`]).
+//! * `GET /metrics` exports the registry in Prometheus text format
+//!   ([`metrics`]), validated by the in-tree parser ([`promtext`]).
+//! * Per-kind sliding-window latency and error budgets feed SLO
+//!   standings ([`slo`]) into `/healthz` and `serve_slo_*` series.
+//! * An optional size-capped JSONL access log records one line per
+//!   request ([`accesslog`]).
+//! * `hpcfail-serve top` polls `/metrics` into a live dashboard
+//!   ([`top`]).
+//!
+//! The flat counters (`serve.requests`, `serve.cache.hit`,
+//! `serve.cache.miss`, `serve.coalesced`, `serve.degraded`), the
+//! `serve.inflight` gauge and per-kind `serve.query.<kind>` spans all
+//! land in the standard `hpcfail-obs` registry, so a server run
 //! exports the same manifest format as a `repro` run.
 //!
 //! ```no_run
@@ -40,11 +54,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accesslog;
 pub mod cache;
 pub mod client;
 pub mod coalesce;
 pub mod http;
+pub mod metrics;
+pub mod promtext;
 pub mod server;
+pub mod slo;
+pub mod top;
 
 pub use client::{Client, Response};
 pub use server::{spawn, ServerConfig, ServerHandle};
+pub use slo::{SloPolicy, SloReport};

@@ -1,0 +1,369 @@
+//! A strict parser/validator for the Prometheus text exposition
+//! format (version 0.0.4).
+//!
+//! `/metrics` output is only useful if real scrapers accept it, and CI
+//! has no Prometheus binary to ask — so this module *is* the checker:
+//! it parses a scrape into typed [`Sample`]s and rejects everything
+//! the format forbids (bad metric/label names, unparseable values,
+//! duplicate series, `# TYPE` lines after samples or repeated per
+//! family). The `check-metrics` CLI subcommand, the `top` dashboard
+//! and the observability tests all read scrapes through here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric name (for summaries this includes the `_count` /
+    /// `_sum` suffix).
+    pub name: String,
+    /// Label pairs, in declaration order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The first value of label `name`.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when every pair in `want` appears among this sample's
+    /// labels with an equal value.
+    pub fn matches(&self, want: &[(String, String)]) -> bool {
+        want.iter().all(|(n, v)| self.label(n) == Some(v.as_str()))
+    }
+}
+
+/// A parsed scrape.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    /// Every sample, in document order.
+    pub samples: Vec<Sample>,
+    /// `# TYPE` declarations: family name → type keyword.
+    pub types: BTreeMap<String, String>,
+}
+
+impl Scrape {
+    /// Samples of metric `name`, in document order.
+    pub fn series<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// The value of the unique sample matching `name` and every pair
+    /// in `labels`; `None` when absent or ambiguous.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(n, v)| ((*n).to_owned(), (*v).to_owned()))
+            .collect();
+        let mut found = None;
+        for sample in self.series(name) {
+            if sample.matches(&want) {
+                if found.is_some() {
+                    return None; // ambiguous
+                }
+                found = Some(sample.value);
+            }
+        }
+        found
+    }
+
+    /// The sum over every sample of metric `name`.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.series(name).map(|s| s.value).sum()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// The family a sample belongs to: summary/histogram child names
+/// (`x_count`, `x_sum`, `x_bucket`) roll up to their parent when the
+/// parent has a `# TYPE`.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_count", "_sum", "_bucket"] {
+        if let Some(parent) = name.strip_suffix(suffix) {
+            if types.contains_key(parent) {
+                return parent;
+            }
+        }
+    }
+    name
+}
+
+/// Parses label pairs from the text between `{` and `}`.
+fn parse_labels(text: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("line {line_no}: invalid label name {name:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        // Walk the quoted value, honoring \\, \" and \n escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err(format!("line {line_no}: bad escape in label value")),
+                },
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((name.to_owned(), value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!(
+                "line {line_no}: expected ',' between labels, got {rest:?}"
+            ));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses and validates a full scrape.
+///
+/// # Errors
+///
+/// The first format violation, with its line number.
+pub fn parse(text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape::default();
+    // Families that already emitted a sample; a TYPE after that is an
+    // ordering violation.
+    let mut sampled: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!("line {line_no}: malformed TYPE line"));
+                };
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: invalid metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: unknown metric type {kind:?}"));
+                }
+                if scrape.types.contains_key(name) {
+                    return Err(format!("line {line_no}: duplicate TYPE for {name:?}"));
+                }
+                if sampled.contains(name) {
+                    return Err(format!(
+                        "line {line_no}: TYPE for {name:?} after its samples"
+                    ));
+                }
+                scrape.types.insert(name.to_owned(), kind.to_owned());
+            }
+            // HELP and free comments pass through unchecked.
+            continue;
+        }
+
+        // A sample: name[{labels}] value [timestamp]
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {line_no}: unterminated label set"))?;
+                if close < brace {
+                    return Err(format!("line {line_no}: mismatched braces"));
+                }
+                (&line[..brace], {
+                    let labels = parse_labels(&line[brace + 1..close], line_no)?;
+                    let value_part = line[close + 1..].trim();
+                    (labels, value_part)
+                })
+            }
+            None => {
+                let mut parts = line.splitn(2, char::is_whitespace);
+                let name = parts.next().unwrap_or_default();
+                let value_part = parts.next().unwrap_or_default().trim();
+                (name, (Vec::new(), value_part))
+            }
+        };
+        let (labels, value_part) = rest;
+        let name = name_part.trim();
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: invalid metric name {name:?}"));
+        }
+        let mut value_fields = value_part.split_whitespace();
+        let value_text = value_fields
+            .next()
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        let value = parse_value(value_text)
+            .ok_or_else(|| format!("line {line_no}: unparseable value {value_text:?}"))?;
+        if let Some(ts) = value_fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {line_no}: unparseable timestamp {ts:?}"));
+            }
+        }
+        if value_fields.next().is_some() {
+            return Err(format!("line {line_no}: trailing fields after value"));
+        }
+
+        let series_key = format!(
+            "{name}{{{}}}",
+            labels
+                .iter()
+                .map(|(n, v)| format!("{n}={v:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if !seen_series.insert(series_key.clone()) {
+            return Err(format!("line {line_no}: duplicate series {series_key}"));
+        }
+        sampled.insert(family_of(name, &scrape.types).to_owned());
+        scrape.samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+    Ok(scrape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_realistic_scrape() {
+        let text = "\
+# HELP serve_requests_total Requests served.
+# TYPE serve_requests_total counter
+serve_requests_total 42
+# TYPE serve_request_latency_ns summary
+serve_request_latency_ns{kind=\"trace-summary\",quantile=\"0.99\"} 1500000
+serve_request_latency_ns_count{kind=\"trace-summary\"} 10
+serve_request_latency_ns_sum{kind=\"trace-summary\"} 9000000
+# TYPE serve_inflight gauge
+serve_inflight 0
+";
+        let scrape = parse(text).expect("valid scrape");
+        assert_eq!(scrape.types["serve_requests_total"], "counter");
+        assert_eq!(scrape.value("serve_requests_total", &[]), Some(42.0));
+        assert_eq!(
+            scrape.value(
+                "serve_request_latency_ns",
+                &[("kind", "trace-summary"), ("quantile", "0.99")]
+            ),
+            Some(1_500_000.0)
+        );
+        assert_eq!(
+            scrape.value(
+                "serve_request_latency_ns_count",
+                &[("kind", "trace-summary")]
+            ),
+            Some(10.0)
+        );
+    }
+
+    #[test]
+    fn escapes_in_label_values_round_trip() {
+        let text = "m{l=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let scrape = parse(text).expect("parses");
+        assert_eq!(scrape.samples[0].label("l"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn rejects_format_violations() {
+        let bad = [
+            "1bad_name 3\n",                             // name starts with a digit
+            "m{2bad=\"v\"} 1\n",                         // bad label name
+            "m{l=\"v\"} notanumber\n",                   // bad value
+            "m{l=\"v\"\n",                               // unterminated labels
+            "m{l=\"v} 1\n",                              // unterminated value
+            "m 1\nm 2\n",                                // duplicate series
+            "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",              // duplicate labeled series
+            "# TYPE m counter\n# TYPE m counter\nm 1\n", // duplicate TYPE
+            "m 1\n# TYPE m counter\n",                   // TYPE after samples
+            "# TYPE m flavor\nm 1\n",                    // unknown type
+            "m\n",                                       // missing value
+            "m 1 2 3\n",                                 // trailing fields
+        ];
+        for text in bad {
+            assert!(parse(text).is_err(), "must reject: {text:?}");
+        }
+    }
+
+    #[test]
+    fn summary_children_do_not_trip_type_ordering() {
+        // _count/_sum samples belong to the declared parent family.
+        let text = "\
+# TYPE lat summary
+lat{quantile=\"0.5\"} 1
+lat_count 2
+lat_sum 3
+";
+        let scrape = parse(text).expect("valid");
+        assert_eq!(scrape.sum("lat_count"), 2.0);
+    }
+
+    #[test]
+    fn special_values_parse() {
+        let text = "a +Inf\nb -Inf\nc NaN\nd 1e9\n";
+        let scrape = parse(text).expect("valid");
+        assert_eq!(scrape.value("a", &[]), Some(f64::INFINITY));
+        assert!(scrape.value("c", &[]).expect("present").is_nan());
+        assert_eq!(scrape.value("d", &[]), Some(1e9));
+    }
+}

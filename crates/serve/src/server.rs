@@ -5,7 +5,8 @@
 //!
 //! | method & path | answer |
 //! |---|---|
-//! | `GET /healthz` | liveness + trace fingerprint |
+//! | `GET /healthz` | liveness + trace fingerprint + SLO standings |
+//! | `GET /metrics` | Prometheus text exposition of the live registry |
 //! | `GET /requests` | the request taxonomy (`REQUEST_KINDS`) |
 //! | `POST /query` | one [`AnalysisRequest`] as JSON → its result |
 //! | `POST /batch` | a JSON array of requests → array of results |
@@ -14,7 +15,20 @@
 //! A `/query` response body is **exactly**
 //! `engine.run(&request).to_json().pretty()` — byte-identical to an
 //! in-process call — with the serving metadata (`x-cache`,
-//! `x-degraded`) in headers so it can never perturb the payload.
+//! `x-degraded`, `x-trace-id`) in headers so it can never perturb the
+//! payload.
+//!
+//! ## Request-scoped observability
+//!
+//! Every request runs under a trace (`hpcfail_obs::start_trace`): the
+//! trace id is echoed in the `x-trace-id` response header and, when
+//! configured, in the JSONL access log. Sending `x-trace: 1` opts the
+//! response into a wrapped body `{"result": <exact body as a JSON
+//! string>, "trace": <span tree>, "trace_id": ...}` — the original
+//! bytes survive verbatim inside the `result` string (the same idiom
+//! `/batch` uses). Per request the server also records per-kind
+//! lifetime histograms, sliding-window histograms and [`SloTracker`]
+//! windows, all of which `GET /metrics` exports.
 //!
 //! ## Deadlines
 //!
@@ -24,14 +38,19 @@
 //! `504` with a typed, `degraded: true` error body instead of holding
 //! a worker hostage.
 
+use crate::accesslog::{AccessEntry, AccessLog, DEFAULT_MAX_BYTES};
 use crate::cache::{CacheKey, ResultCache};
 use crate::coalesce::{Claim, Coalescer};
 use crate::http::{self, Request};
+use crate::metrics;
+use crate::slo::{SloPolicy, SloTracker};
 use hpcfail_core::engine::{AnalysisRequest, Engine, REQUEST_KINDS};
 use hpcfail_obs::json::Json;
+use hpcfail_obs::TraceRecording;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,6 +70,16 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Deadline applied when the client sends no `x-deadline-ms`.
     pub default_deadline_ms: u64,
+    /// Write a JSONL access log here (size-capped, one `.1` rotation).
+    pub access_log: Option<PathBuf>,
+    /// Rotation threshold for the access log, bytes.
+    pub access_log_max_bytes: u64,
+    /// The SLO budgets `/healthz` and `/metrics` evaluate against.
+    pub slo: SloPolicy,
+    /// Fault injection: panic inside the handler for this analysis
+    /// kind, to exercise the catch-unwind → 500 path (the engine
+    /// itself never panics on well-formed requests).
+    pub inject_panic_kind: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +90,10 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             read_timeout: Duration::from_secs(30),
             default_deadline_ms: 10_000,
+            access_log: None,
+            access_log_max_bytes: DEFAULT_MAX_BYTES,
+            slo: SloPolicy::default(),
+            inject_panic_kind: None,
         }
     }
 }
@@ -72,6 +105,9 @@ struct Shared {
     shutdown: AtomicBool,
     inflight: AtomicU64,
     default_deadline_ms: u64,
+    slo: SloTracker,
+    access_log: Option<AccessLog>,
+    inject_panic_kind: Option<String>,
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
@@ -91,6 +127,12 @@ impl ServerHandle {
     /// The engine the server answers from.
     pub fn engine(&self) -> &Engine {
         &self.shared.engine
+    }
+
+    /// Requests currently being handled (the live `serve_inflight`
+    /// gauge).
+    pub fn inflight(&self) -> u64 {
+        self.shared.inflight.load(Ordering::SeqCst)
     }
 
     /// `true` once shutdown has been requested.
@@ -116,10 +158,14 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// I/O errors binding the listener.
+/// I/O errors binding the listener or opening the access log.
 pub fn spawn(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let access_log = match &config.access_log {
+        Some(path) => Some(AccessLog::open(path, config.access_log_max_bytes)?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         engine,
         cache: ResultCache::new(config.cache_capacity),
@@ -127,6 +173,9 @@ pub fn spawn(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         inflight: AtomicU64::new(0),
         default_deadline_ms: config.default_deadline_ms,
+        slo: SloTracker::new(config.slo),
+        access_log,
+        inject_panic_kind: config.inject_panic_kind.clone(),
     });
     let listener = Arc::new(listener);
     let workers = (0..config.workers.max(1))
@@ -178,42 +227,249 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Ok(None) => return,
             Err(err) => {
                 if let Some((status, reason)) = err.status() {
+                    // Even unparseable traffic gets a trace id and
+                    // exactly one access-log line.
+                    let trace_hex = format!("{:016x}", hpcfail_obs::trace::next_trace_id());
                     let body = error_body(status, &err.message(), false);
-                    let _ = http::write_response(&mut writer, status, reason, &[], &body, true);
+                    let _ = http::write_response(
+                        &mut writer,
+                        status,
+                        reason,
+                        &[("x-trace-id", &trace_hex)],
+                        &body,
+                        true,
+                    );
+                    if let Some(log) = &shared.access_log {
+                        log.log(&AccessEntry {
+                            trace_id: trace_hex,
+                            method: "-".to_owned(),
+                            path: "-".to_owned(),
+                            kind: "http-error".to_owned(),
+                            status,
+                            latency_us: 0,
+                            cache: "-".to_owned(),
+                            deadline_ms: shared.default_deadline_ms,
+                            bytes_out: body.len() as u64,
+                        });
+                    }
                 }
                 return;
             }
         };
         let close = request.wants_close() || shared.shutdown.load(Ordering::SeqCst);
-        hpcfail_obs::counter("serve.requests").inc();
-        shared.inflight.fetch_add(1, Ordering::SeqCst);
-        hpcfail_obs::gauge("serve.inflight").set(shared.inflight.load(Ordering::SeqCst) as f64);
-        let outcome = handle(&request, shared, &mut writer, close);
-        shared.inflight.fetch_sub(1, Ordering::SeqCst);
-        hpcfail_obs::gauge("serve.inflight").set(shared.inflight.load(Ordering::SeqCst) as f64);
-        match outcome {
-            Ok(()) if !close => continue,
+        match respond(&request, shared, &mut writer, close) {
+            Ok(true) if !close => continue,
             _ => return,
         }
     }
 }
 
-/// Routes one request; `Err` means the connection is unusable.
-fn handle(
+/// Decrements the in-flight count (and gauge) however the handler
+/// exits.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(shared: &'a Shared) -> InflightGuard<'a> {
+        shared.inflight.fetch_add(1, Ordering::SeqCst);
+        hpcfail_obs::gauge("serve.inflight").set(shared.inflight.load(Ordering::SeqCst) as f64);
+        InflightGuard { shared }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        hpcfail_obs::gauge("serve.inflight")
+            .set(self.shared.inflight.load(Ordering::SeqCst) as f64);
+    }
+}
+
+/// One routed answer, before the central writer adds tracing headers,
+/// telemetry and the optional `x-trace` body wrap.
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    /// Endpoint-specific headers (e.g. `x-degraded`, `content-type`).
+    headers: Vec<(&'static str, String)>,
+    body: String,
+    /// The kind label for metrics, SLO windows and the access log.
+    kind: String,
+    /// Cache outcome, when caching applied.
+    cache: Option<&'static str>,
+    /// Close the connection after this reply (shutdown).
+    force_close: bool,
+}
+
+impl Reply {
+    fn ok(body: String, kind: &str) -> Reply {
+        Reply {
+            status: 200,
+            reason: "OK",
+            headers: Vec::new(),
+            body,
+            kind: kind.to_owned(),
+            cache: None,
+            force_close: false,
+        }
+    }
+
+    fn error(
+        status: u16,
+        reason: &'static str,
+        message: &str,
+        degraded: bool,
+        kind: &str,
+    ) -> Reply {
+        Reply {
+            status,
+            reason,
+            headers: Vec::new(),
+            body: error_body(status, message, degraded),
+            kind: kind.to_owned(),
+            cache: None,
+            force_close: false,
+        }
+    }
+}
+
+/// Handles one parsed request end to end: trace, route (panic-safe),
+/// telemetry, response write, access log. Returns `Ok(keep_alive)`.
+fn respond(
     request: &Request,
     shared: &Shared,
     writer: &mut impl Write,
     close: bool,
-) -> io::Result<()> {
+) -> io::Result<bool> {
+    let started = Instant::now();
+    hpcfail_obs::counter("serve.requests").inc();
+    let trace = hpcfail_obs::start_trace("serve.request");
+    trace.attr("method", &request.method);
+    trace.attr("path", &request.path);
+    let trace_hex = trace.trace_id_hex();
+
+    let inflight = InflightGuard::enter(shared);
+    let reply = catch_unwind(AssertUnwindSafe(|| route(request, shared))).unwrap_or_else(|_| {
+        Reply::error(
+            500,
+            "Internal Server Error",
+            "handler panicked; see server logs",
+            false,
+            "panic",
+        )
+    });
+    drop(inflight);
+
+    trace.attr("kind", &reply.kind);
+    trace.attr("status", &reply.status.to_string());
+    if let Some(cache) = reply.cache {
+        trace.attr("cache", cache);
+    }
+    let recording = trace.finish();
+    let latency_ns = started.elapsed().as_nanos() as u64;
+    record_telemetry(shared, &reply.kind, reply.status, latency_ns);
+
+    let Reply {
+        status,
+        reason,
+        headers: reply_headers,
+        body: raw_body,
+        kind,
+        cache,
+        force_close,
+    } = reply;
+
+    // `x-trace: 1` wraps the body with the span tree; the exact
+    // original bytes survive as the `result` string. Endpoints that
+    // answer non-JSON (only /metrics) are never wrapped.
+    let custom_content_type = reply_headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("content-type"));
+    let traced = !custom_content_type
+        && request
+            .header("x-trace")
+            .is_some_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    let body = if traced {
+        wrap_traced(raw_body, &trace_hex, recording.as_ref())
+    } else {
+        raw_body
+    };
+
+    let mut headers: Vec<(&str, &str)> = vec![("x-trace-id", &trace_hex)];
+    if let Some(cache) = cache {
+        headers.push(("x-cache", cache));
+    }
+    for (name, value) in &reply_headers {
+        headers.push((name, value));
+    }
+    let close = close || force_close;
+    let result = http::write_response(writer, status, reason, &headers, &body, close);
+
+    if let Some(log) = &shared.access_log {
+        log.log(&AccessEntry {
+            trace_id: trace_hex,
+            method: request.method.clone(),
+            path: request.path.clone(),
+            kind,
+            status,
+            latency_us: latency_ns / 1_000,
+            cache: cache.unwrap_or("-").to_owned(),
+            deadline_ms: deadline_ms(request, shared),
+            bytes_out: body.len() as u64,
+        });
+    }
+    result.map(|()| !close)
+}
+
+fn wrap_traced(body: String, trace_hex: &str, recording: Option<&TraceRecording>) -> String {
+    let mut fields = vec![
+        ("result", Json::Str(body)),
+        ("trace_id", Json::Str(trace_hex.to_owned())),
+    ];
+    if let Some(recording) = recording {
+        fields.push(("trace", recording.to_json()));
+    }
+    Json::obj(fields).pretty()
+}
+
+fn record_telemetry(shared: &Shared, kind: &str, status: u16, latency_ns: u64) {
+    hpcfail_obs::counter(&format!("serve.status.{status}")).inc();
+    hpcfail_obs::counter(&format!("serve.kind.{kind}.requests")).inc();
+    hpcfail_obs::histogram(&format!("serve.latency_ns.{kind}")).record(latency_ns);
+    hpcfail_obs::window(&format!("serve.window.latency_ns.{kind}")).record(latency_ns);
+    shared.slo.record(kind, latency_ns, status >= 500);
+}
+
+/// Routes one request to its endpoint.
+fn route(request: &Request, shared: &Shared) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
+            let slo = shared.slo.report();
             let body = Json::obj([
-                ("status", Json::Str("ok".to_owned())),
+                (
+                    "status",
+                    Json::Str(if slo.healthy { "ok" } else { "degraded" }.to_owned()),
+                ),
                 ("fingerprint", Json::Str(shared.engine.fingerprint_hex())),
                 ("systems", Json::Num(shared.engine.trace().len() as f64)),
+                ("slo", slo.to_json()),
             ])
             .pretty();
-            http::write_response(writer, 200, "OK", &[], &body, close)
+            Reply::ok(body, "healthz")
+        }
+        ("GET", "/metrics") => {
+            let body = metrics::render(
+                &hpcfail_obs::snapshot(),
+                &shared.slo.report(),
+                shared.inflight.load(Ordering::SeqCst),
+            );
+            let mut reply = Reply::ok(body, "metrics");
+            reply.headers.push((
+                "content-type",
+                "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+            ));
+            reply
         }
         ("GET", "/requests") => {
             let body = Json::obj([(
@@ -226,118 +482,143 @@ fn handle(
                 ),
             )])
             .pretty();
-            http::write_response(writer, 200, "OK", &[], &body, close)
+            Reply::ok(body, "requests")
         }
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             let body = Json::obj([("status", Json::Str("shutting down".to_owned()))]).pretty();
-            http::write_response(writer, 200, "OK", &[], &body, true)
+            let mut reply = Reply::ok(body, "shutdown");
+            reply.force_close = true;
+            reply
         }
-        ("POST", "/query") => handle_query(request, shared, writer, close),
-        ("POST", "/batch") => handle_batch(request, shared, writer, close),
-        (_, "/healthz" | "/requests" | "/shutdown" | "/query" | "/batch") => {
-            let body = error_body(405, "method not allowed for this path", false);
-            http::write_response(writer, 405, "Method Not Allowed", &[], &body, close)
-        }
-        _ => {
-            let body = error_body(
-                404,
-                "unknown path; try /healthz, /requests, /query, /batch, /shutdown",
+        ("POST", "/query") => handle_query(request, shared),
+        ("POST", "/batch") => handle_batch(request, shared),
+        (_, "/healthz" | "/metrics" | "/requests" | "/shutdown" | "/query" | "/batch") => {
+            Reply::error(
+                405,
+                "Method Not Allowed",
+                "method not allowed for this path",
                 false,
-            );
-            http::write_response(writer, 404, "Not Found", &[], &body, close)
+                "other",
+            )
         }
+        _ => Reply::error(
+            404,
+            "Not Found",
+            "unknown path; try /healthz, /metrics, /requests, /query, /batch, /shutdown",
+            false,
+            "other",
+        ),
     }
 }
 
-fn handle_query(
-    request: &Request,
-    shared: &Shared,
-    writer: &mut impl Write,
-    close: bool,
-) -> io::Result<()> {
+fn handle_query(request: &Request, shared: &Shared) -> Reply {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
-            let body = error_body(400, "request body is not UTF-8", false);
-            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+            return Reply::error(
+                400,
+                "Bad Request",
+                "request body is not UTF-8",
+                false,
+                "query",
+            )
         }
     };
     let parsed = match AnalysisRequest::parse(text) {
         Ok(parsed) => parsed,
         Err(err) => {
-            let body = error_body(400, &err.to_string(), false);
-            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+            return Reply::error(400, "Bad Request", &err.to_string(), false, "query");
         }
     };
+    let kind = parsed.kind();
+    if shared.inject_panic_kind.as_deref() == Some(kind) {
+        panic!("injected panic for analysis kind {kind}");
+    }
     let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
     match answer(&parsed, shared, deadline) {
         Answer::Fresh(body) => {
             hpcfail_obs::counter("serve.cache.miss").inc();
-            http::write_response(writer, 200, "OK", &[("x-cache", "miss")], &body, close)
+            let mut reply = Reply::ok((*body).clone(), kind);
+            reply.cache = Some("miss");
+            reply
         }
         Answer::Cached(body) => {
             hpcfail_obs::counter("serve.cache.hit").inc();
-            http::write_response(writer, 200, "OK", &[("x-cache", "hit")], &body, close)
+            let mut reply = Reply::ok((*body).clone(), kind);
+            reply.cache = Some("hit");
+            reply
         }
         Answer::Coalesced(body) => {
             hpcfail_obs::counter("serve.coalesced").inc();
-            http::write_response(writer, 200, "OK", &[("x-cache", "coalesced")], &body, close)
+            let mut reply = Reply::ok((*body).clone(), kind);
+            reply.cache = Some("coalesced");
+            reply
         }
         Answer::Degraded => {
             hpcfail_obs::counter("serve.degraded").inc();
-            let body = error_body(
-                504,
-                "deadline passed while awaiting an identical in-flight query",
-                true,
-            );
-            http::write_response(
-                writer,
+            let mut reply = Reply::error(
                 504,
                 "Gateway Timeout",
-                &[("x-degraded", "true")],
-                &body,
-                close,
-            )
+                "deadline passed while awaiting an identical in-flight query",
+                true,
+                kind,
+            );
+            reply.headers.push(("x-degraded", "true".to_owned()));
+            reply
         }
         Answer::Failed(message) => {
-            let body = error_body(500, &message, false);
-            http::write_response(writer, 500, "Internal Server Error", &[], &body, close)
+            Reply::error(500, "Internal Server Error", &message, false, kind)
         }
     }
 }
 
-fn handle_batch(
-    request: &Request,
-    shared: &Shared,
-    writer: &mut impl Write,
-    close: bool,
-) -> io::Result<()> {
+fn handle_batch(request: &Request, shared: &Shared) -> Reply {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
-            let body = error_body(400, "request body is not UTF-8", false);
-            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+            return Reply::error(
+                400,
+                "Bad Request",
+                "request body is not UTF-8",
+                false,
+                "batch",
+            )
         }
     };
     let json = match hpcfail_obs::json::parse(text) {
         Ok(json) => json,
         Err(err) => {
-            let body = error_body(400, &format!("malformed JSON: {err}"), false);
-            return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+            return Reply::error(
+                400,
+                "Bad Request",
+                &format!("malformed JSON: {err}"),
+                false,
+                "batch",
+            );
         }
     };
     let Some(items) = json.as_arr() else {
-        let body = error_body(400, "batch body must be a JSON array of requests", false);
-        return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+        return Reply::error(
+            400,
+            "Bad Request",
+            "batch body must be a JSON array of requests",
+            false,
+            "batch",
+        );
     };
     let mut parsed = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
         match AnalysisRequest::from_json(item) {
             Ok(request) => parsed.push(request),
             Err(err) => {
-                let body = error_body(400, &format!("batch item {i}: {err}"), false);
-                return http::write_response(writer, 400, "Bad Request", &[], &body, close);
+                return Reply::error(
+                    400,
+                    "Bad Request",
+                    &format!("batch item {i}: {err}"),
+                    false,
+                    "batch",
+                );
             }
         }
     }
@@ -359,37 +640,25 @@ fn handle_batch(
             }
             Answer::Degraded => {
                 hpcfail_obs::counter("serve.degraded").inc();
-                let body = error_body(
-                    504,
-                    "deadline passed while awaiting an identical in-flight query",
-                    true,
-                );
-                return http::write_response(
-                    writer,
+                let mut reply = Reply::error(
                     504,
                     "Gateway Timeout",
-                    &[("x-degraded", "true")],
-                    &body,
-                    close,
+                    "deadline passed while awaiting an identical in-flight query",
+                    true,
+                    "batch",
                 );
+                reply.headers.push(("x-degraded", "true".to_owned()));
+                return reply;
             }
             Answer::Failed(message) => {
-                let body = error_body(500, &message, false);
-                return http::write_response(
-                    writer,
-                    500,
-                    "Internal Server Error",
-                    &[],
-                    &body,
-                    close,
-                );
+                return Reply::error(500, "Internal Server Error", &message, false, "batch");
             }
         }
     }
     // Each element is the exact /query body for that request, embedded
     // as a JSON string so per-query byte-identity survives batching.
     let body = Json::obj([("results", Json::Arr(bodies))]).pretty();
-    http::write_response(writer, 200, "OK", &[], &body, close)
+    Reply::ok(body, "batch")
 }
 
 enum Answer {
@@ -413,10 +682,12 @@ fn answer(request: &AnalysisRequest, shared: &Shared, deadline: Instant) -> Answ
     match shared.coalescer.claim(&key) {
         Claim::Leader(guard) => {
             let span_name = format!("serve.query.{}", request.kind());
-            let _span = hpcfail_obs::span(&span_name);
+            let span = hpcfail_obs::span(&span_name);
+            span.attr("kind", request.kind());
             let computed = catch_unwind(AssertUnwindSafe(|| {
                 Arc::new(shared.engine.run(request).to_json().pretty())
             }));
+            drop(span);
             match computed {
                 Ok(body) => {
                     shared.cache.put(key, Arc::clone(&body));
@@ -479,6 +750,22 @@ mod tests {
                 .and_then(|e| e.get("message"))
                 .and_then(Json::as_str),
             Some("nope")
+        );
+    }
+
+    #[test]
+    fn trace_wrap_preserves_the_exact_body() {
+        let body = "{\n  \"answer\": 42\n}".to_owned();
+        let wrapped = wrap_traced(body.clone(), "00000000000000ff", None);
+        let json = hpcfail_obs::json::parse(&wrapped).expect("valid JSON");
+        assert_eq!(
+            json.get("result").and_then(Json::as_str),
+            Some(body.as_str()),
+            "original bytes survive as the result string"
+        );
+        assert_eq!(
+            json.get("trace_id").and_then(Json::as_str),
+            Some("00000000000000ff")
         );
     }
 }
