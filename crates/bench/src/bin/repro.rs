@@ -24,6 +24,7 @@ use hpcfail_obs::manifest::{git_describe, ManifestSink};
 use hpcfail_obs::sink::Sink;
 use hpcfail_report::obs_sink::TableSink;
 use hpcfail_store::ingest::{load_trace_with, IngestPolicy, IngestReport};
+use hpcfail_store::snapshot::{read_snapshot, write_snapshot};
 use std::process::ExitCode;
 
 fn usage() -> String {
@@ -38,6 +39,12 @@ fn usage() -> String {
                             save_trace) instead of generating a fleet\n\
            --policy P       ingestion policy for --trace: strict (default),\n\
                             lenient, or best-effort\n\
+           --snapshot PATH  load the trace from a binary .hpcsnap snapshot\n\
+                            (one bulk read, no CSV parse) instead of\n\
+                            generating a fleet or reading --trace\n\
+           --write-snapshot PATH  after loading, write the trace to PATH as\n\
+                            a .hpcsnap snapshot; with no experiments given\n\
+                            the run writes the snapshot and exits\n\
            --inject-failure ID  make experiment ID fail (degradation testing)\n\
            --out DIR        also write each report to DIR/<id>.txt\n\
            --manifest PATH  write a JSON run manifest (seed, scale, build,\n\
@@ -64,6 +71,8 @@ fn main() -> ExitCode {
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut manifest_path: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut snapshot_path: Option<std::path::PathBuf> = None;
+    let mut write_snapshot_path: Option<std::path::PathBuf> = None;
     let mut policy = IngestPolicy::Strict;
     let mut inject_failure: Option<String> = None;
     let mut quiet = false;
@@ -89,6 +98,20 @@ fn main() -> ExitCode {
                 Some(dir) => trace_dir = Some(dir.into()),
                 None => {
                     eprintln!("--trace needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--snapshot" => match iter.next() {
+                Some(path) => snapshot_path = Some(path.into()),
+                None => {
+                    eprintln!("--snapshot needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--write-snapshot" => match iter.next() {
+                Some(path) => write_snapshot_path = Some(path.into()),
+                None => {
+                    eprintln!("--write-snapshot needs a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -136,7 +159,13 @@ fn main() -> ExitCode {
             other => ids.push(other.to_owned()),
         }
     }
-    if ids.is_empty() {
+    if snapshot_path.is_some() && trace_dir.is_some() {
+        eprintln!("--snapshot and --trace are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    // A bare snapshot-writing run is legal: load (or generate), write
+    // the snapshot, exit without running any experiment.
+    if ids.is_empty() && write_snapshot_path.is_none() {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     }
@@ -181,6 +210,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    } else if let Some(path) = &snapshot_path {
+        if !quiet {
+            eprintln!("loading snapshot {}...", path.display());
+        }
+        let loaded = {
+            let _span = hpcfail_obs::span("repro.load");
+            read_snapshot(path)
+        };
+        match loaded {
+            Ok(trace) => ReproContext::from_trace(trace, seed, scale),
+            Err(err) => {
+                eprintln!("cannot load snapshot {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         if !quiet {
             eprintln!("generating fleet (scale {scale}, seed {seed})...");
@@ -196,6 +240,16 @@ fn main() -> ExitCode {
         );
         if let Some(report) = &ingest_report {
             eprintln!("{}", hpcfail_report::quality::render_ingest_report(report));
+        }
+    }
+
+    if let Some(path) = &write_snapshot_path {
+        if let Err(err) = write_snapshot(path, ctx.trace()) {
+            eprintln!("cannot write snapshot {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        if !quiet {
+            eprintln!("wrote snapshot to {}", path.display());
         }
     }
 

@@ -357,6 +357,40 @@ fn warm_runs_equal_cold_runs() {
     }
 }
 
+/// The engine fingerprint is a function of record content, not of the
+/// bytes the trace was loaded from: a trace round-tripped through CSV
+/// and one round-tripped through a binary snapshot must share cache
+/// keys and answer every request kind with identical bytes.
+#[test]
+fn csv_and_snapshot_loads_share_fingerprint_and_results() {
+    use hpcfail_store::snapshot::{decode_snapshot, snapshot_bytes};
+
+    let trace = demo_trace();
+    let dir = std::env::temp_dir().join(format!("hpcfail-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    hpcfail_store::csv::save_trace(&dir, &trace).unwrap();
+    let (csv_trace, report) =
+        hpcfail_store::ingest::load_trace_with(&dir, hpcfail_store::ingest::IngestPolicy::Strict)
+            .unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(report.quarantined.is_empty());
+    let snap_trace = decode_snapshot(&snapshot_bytes(&trace)).unwrap();
+
+    let direct_engine = Engine::new(trace);
+    let csv_engine = Engine::new(csv_trace);
+    let snap_engine = Engine::new(snap_trace);
+    assert_eq!(direct_engine.fingerprint(), csv_engine.fingerprint());
+    assert_eq!(csv_engine.fingerprint(), snap_engine.fingerprint());
+    for request in requests((0, 0, 0)) {
+        assert_eq!(
+            csv_engine.run(&request).to_json().pretty(),
+            snap_engine.run(&request).to_json().pretty(),
+            "bytes for {}",
+            request.kind()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -6,6 +6,7 @@
 //! hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
 //!                     [--scale 0.1] [--seed 42]
 //!                     [--trace DIR [--policy strict|lenient|best-effort]]
+//!                     [--snapshot PATH]
 //!                     [--manifest PATH] [--access-log PATH]
 //!                     [--slo-latency-ms N] [--slo-error-rate F]
 //!                     [--inject-panic KIND] [--quiet]
@@ -24,7 +25,8 @@ use hpcfail_serve::client::Client;
 use hpcfail_serve::server::{spawn, ServerConfig};
 use hpcfail_serve::slo::SloPolicy;
 use hpcfail_serve::{promtext, top};
-use hpcfail_store::ingest::{load_trace_with, IngestPolicy};
+use hpcfail_store::ingest::{load_trace_snapshot_first, load_trace_with, IngestPolicy};
+use hpcfail_store::snapshot::read_snapshot;
 use hpcfail_synth::FleetSpec;
 use std::io::{IsTerminal, Read};
 use std::process::ExitCode;
@@ -34,6 +36,7 @@ const USAGE: &str = "usage:
   hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
                       [--scale 0.1] [--seed 42]
                       [--trace DIR [--policy strict|lenient|best-effort]]
+                      [--snapshot PATH]
                       [--manifest PATH] [--access-log PATH]
                       [--slo-latency-ms N] [--slo-error-rate F]
                       [--inject-panic KIND] [--quiet]
@@ -73,6 +76,7 @@ struct ServeArgs {
     scale: Option<f64>,
     seed: Option<u64>,
     trace_dir: Option<String>,
+    snapshot: Option<String>,
     policy: IngestPolicy,
     manifest: Option<String>,
     access_log: Option<String>,
@@ -102,6 +106,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         scale: None,
         seed: None,
         trace_dir: None,
+        snapshot: None,
         policy: IngestPolicy::Strict,
         manifest: None,
         access_log: None,
@@ -138,6 +143,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 "--trace" => {
                     take_value("--trace", &mut iter).map(|v| parsed.trace_dir = Some(v.to_owned()))
                 }
+                "--snapshot" => take_value("--snapshot", &mut iter)
+                    .map(|v| parsed.snapshot = Some(v.to_owned())),
                 "--policy" => take_value("--policy", &mut iter)
                     .and_then(|v| v.parse().map(|p| parsed.policy = p)),
                 "--manifest" => take_value("--manifest", &mut iter)
@@ -166,8 +173,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return usage_error(&message);
         }
     }
-    if parsed.trace_dir.is_some() && (parsed.scale.is_some() || parsed.seed.is_some()) {
-        return usage_error("--scale/--seed and --trace are mutually exclusive");
+    if (parsed.trace_dir.is_some() || parsed.snapshot.is_some())
+        && (parsed.scale.is_some() || parsed.seed.is_some())
+    {
+        return usage_error("--scale/--seed and --trace/--snapshot are mutually exclusive");
     }
     let scale = parsed.scale.unwrap_or(0.1);
     let seed = parsed.seed.unwrap_or(42);
@@ -175,8 +184,40 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         return usage_error("--scale must be positive");
     }
 
-    let engine = match &parsed.trace_dir {
-        Some(dir) => match load_trace_with(dir, parsed.policy) {
+    let engine = match (&parsed.snapshot, &parsed.trace_dir) {
+        (Some(path), Some(dir)) => {
+            // Snapshot-first boot with a CSV safety net: a bad snapshot
+            // is an audit line, never a dead server.
+            match load_trace_snapshot_first(path, dir, parsed.policy) {
+                Ok((trace, report, fallback)) => {
+                    if let Some(fallback) = &fallback {
+                        eprintln!("ingest: {fallback}");
+                    }
+                    if let Some(report) = &report {
+                        if !parsed.quiet && !report.quarantined.is_empty() {
+                            eprintln!(
+                                "ingest: quarantined {} rows under {} policy",
+                                report.quarantined.len(),
+                                parsed.policy
+                            );
+                        }
+                    }
+                    Engine::new(trace)
+                }
+                Err(err) => {
+                    eprintln!("failed to load trace from {dir:?}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (Some(path), None) => match read_snapshot(path) {
+            Ok(trace) => Engine::new(trace),
+            Err(err) => {
+                eprintln!("failed to load snapshot {path:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(dir)) => match load_trace_with(dir, parsed.policy) {
             Ok((trace, report)) => {
                 if !parsed.quiet && !report.quarantined.is_empty() {
                     eprintln!(
@@ -192,7 +233,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => {
+        (None, None) => {
             let spec = if scale >= 1.0 {
                 FleetSpec::lanl()
             } else {

@@ -652,6 +652,37 @@ pub fn load_trace_with<P: AsRef<Path>>(
     Ok((trace, report))
 }
 
+/// Load a trace, preferring a binary snapshot over CSV parsing.
+///
+/// If `snapshot` names a readable, checksum-verified `.hpcsnap` file the
+/// trace is decoded from it in one bulk read — no CSV parse, no quality
+/// audit — and the returned [`IngestReport`] is `None`. If the snapshot
+/// is missing, corrupt or version-mismatched the load falls back to
+/// [`load_trace_with`] on `dir` and the typed
+/// [`SnapshotFallback`](crate::snapshot::SnapshotFallback) explaining
+/// why is returned alongside, so callers can surface it as an audit
+/// entry instead of a panic.
+pub fn load_trace_snapshot_first<P: AsRef<Path>, Q: AsRef<Path>>(
+    snapshot: P,
+    dir: Q,
+    policy: IngestPolicy,
+) -> Result<
+    (
+        Trace,
+        Option<IngestReport>,
+        Option<crate::snapshot::SnapshotFallback>,
+    ),
+    CsvError,
+> {
+    match crate::snapshot::try_read_snapshot(snapshot) {
+        crate::snapshot::SnapshotLoad::Loaded(trace) => Ok((*trace, None, None)),
+        crate::snapshot::SnapshotLoad::Unusable(fallback) => {
+            let (trace, report) = load_trace_with(dir, policy)?;
+            Ok((trace, Some(report), Some(fallback)))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

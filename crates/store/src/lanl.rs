@@ -303,21 +303,37 @@ pub fn read_lanl_failures_from_path<P: AsRef<std::path::Path>>(
 }
 
 /// Assembles imported failure records into a [`Trace`](crate::trace::Trace), inferring a
-/// minimal [`SystemConfig`] per system: node count from the highest
-/// node number seen, observation span from the first/last record
-/// (rounded out to whole days, with one day of margin at the end).
+/// minimal [`SystemConfig`] per system: node count from the number of
+/// distinct node ids seen (raw ids are remapped onto a dense `0..n`
+/// range), observation span from the first/last record (rounded out to
+/// whole days, with one day of margin at the end).
+///
+/// LANL releases number nodes sparsely — a system whose two surviving
+/// records name nodes 1000 and 5000 has two observed nodes, not 5001.
+/// Counting `max(raw) + 1` inflated every per-node baseline denominator
+/// and allocated index space for thousands of phantom nodes, so raw ids
+/// are compacted (order-preserving) before the config is inferred.
 ///
 /// The inferred configs default to 4-way SMP hardware; adjust group-2
 /// systems via `numa_systems` so the group split matches your site.
 pub fn assemble_trace(records: Vec<FailureRecord>, numa_systems: &[u16]) -> crate::trace::Trace {
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, BTreeSet};
     let mut by_system: BTreeMap<SystemId, Vec<FailureRecord>> = BTreeMap::new();
     for r in records {
         by_system.entry(r.system).or_default().push(r);
     }
     let mut trace = crate::trace::Trace::new();
-    for (system, records) in by_system {
-        let nodes = records.iter().map(|r| r.node.raw()).max().unwrap_or(0) + 1;
+    for (system, mut records) in by_system {
+        let distinct: BTreeSet<u32> = records.iter().map(|r| r.node.raw()).collect();
+        let dense: BTreeMap<u32, u32> = distinct
+            .iter()
+            .enumerate()
+            .map(|(i, &raw)| (raw, i as u32))
+            .collect();
+        for r in &mut records {
+            r.node = NodeId::new(dense[&r.node.raw()]);
+        }
+        let nodes = dense.len().max(1) as u32;
         let first = records
             .iter()
             .map(|r| r.time)
@@ -517,7 +533,7 @@ system,nodenum,prob started,cause
         let trace = assemble_trace(records, &[2]);
         assert_eq!(trace.len(), 2);
         let sys20 = trace.system(SystemId::new(20)).unwrap();
-        assert_eq!(sys20.config().nodes, 18); // highest node is 17
+        assert_eq!(sys20.config().nodes, 2); // two distinct nodes (0, 17)
         assert_eq!(sys20.config().group(), SystemGroup::Group1);
         assert_eq!(sys20.failures().len(), 2);
         let sys2 = trace.system(SystemId::new(2)).unwrap();
@@ -529,6 +545,26 @@ system,nodenum,prob started,cause
                 assert!(f.time >= s.config().start && f.time < s.config().end);
             }
         }
+    }
+
+    #[test]
+    fn assemble_compacts_gappy_node_ids() {
+        // Regression: sparse raw node numbering (1000, 5000) used to
+        // infer 5001 nodes, inflating every per-node denominator.
+        let csv = "\
+system,nodenum,prob started,cause
+9,1000,10/23/2003 14:55,Hardware
+9,5000,11/02/2003 03:10,Software
+9,1000,11/03/2003 08:00,Hardware
+";
+        let records = read_lanl_failures(csv.as_bytes(), LanlImportOptions::default()).unwrap();
+        let trace = assemble_trace(records, &[]);
+        let sys = trace.system(SystemId::new(9)).unwrap();
+        assert_eq!(sys.config().nodes, 2);
+        // Remap is order-preserving: 1000 -> 0, 5000 -> 1.
+        assert_eq!(sys.node_failure_count(NodeId::new(0)), 2);
+        assert_eq!(sys.node_failure_count(NodeId::new(1)), 1);
+        assert!(sys.failures().iter().all(|f| f.node.raw() < 2));
     }
 
     #[test]

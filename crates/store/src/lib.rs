@@ -52,20 +52,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod csv;
 pub mod features;
 pub mod index;
 pub mod ingest;
 pub mod lanl;
 pub mod query;
+pub mod snapshot;
 pub mod trace;
 
 /// The most frequently used items.
 pub mod prelude {
-    pub use crate::features::{NodeFeatures, NodeUsage, TemperatureAggregate};
+    pub use crate::features::{FeatureError, NodeFeatures, NodeUsage, TemperatureAggregate};
     pub use crate::ingest::{
         load_trace_with, DataQualityReport, IngestPolicy, IngestReport, QuarantinedLine,
     };
     pub use crate::query::{BaselineEstimator, NodeEvents};
+    pub use crate::snapshot::{read_snapshot, write_snapshot, SnapshotError};
     pub use crate::trace::{SystemTrace, SystemTraceBuilder, Trace};
 }

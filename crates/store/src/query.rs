@@ -7,9 +7,9 @@
 //! implements that counting in `O(#events)` per node via interval
 //! unions rather than scanning every day.
 
+use crate::columns::ClassCode;
 use crate::trace::SystemTrace;
 use hpcfail_types::prelude::*;
-use hpcfail_types::time::SECONDS_PER_DAY;
 
 /// Hit/total counts from window counting; convert to a proportion in
 /// the statistics layer.
@@ -54,33 +54,30 @@ impl<'a> NodeEvents<'a> {
 
     /// Sorted, deduplicated day indices (relative to the observation
     /// start) on which `node` had a failure of `class`.
+    ///
+    /// Reads the precomputed day column through the per-node postings
+    /// index — no row structs are materialized and no per-event day
+    /// arithmetic runs.
     pub fn failure_days(&self, node: NodeId, class: FailureClass) -> Vec<i64> {
-        let start = self.system.config().start;
-        let mut scanned = 0u64;
-        let days: Vec<i64> = self
-            .system
-            .node_failures(node)
-            .inspect(|_| scanned += 1)
-            .filter(|f| class.matches(f))
-            .map(|f| (f.time - start).as_seconds().div_euclid(SECONDS_PER_DAY))
-            .collect();
-        record_scan(scanned, days.len() as u64);
+        let mut days = Vec::new();
+        let (scanned, matched) =
+            self.system
+                .failure_columns()
+                .collect_node_days(node, ClassCode::new(class), &mut days);
+        record_scan(scanned as u64, matched as u64);
+        // The gather is already non-decreasing; this is a dedup pass.
         sorted_unique_days(days)
     }
 
     /// Sorted, deduplicated day indices on which `node` had unscheduled
     /// hardware maintenance.
     pub fn unscheduled_hw_maintenance_days(&self, node: NodeId) -> Vec<i64> {
-        let start = self.system.config().start;
-        let mut scanned = 0u64;
-        let days: Vec<i64> = self
+        let mut days = Vec::new();
+        let (scanned, matched) = self
             .system
-            .node_maintenance(node)
-            .inspect(|_| scanned += 1)
-            .filter(|m| m.is_unscheduled_hardware())
-            .map(|m| (m.time - start).as_seconds().div_euclid(SECONDS_PER_DAY))
-            .collect();
-        record_scan(scanned, days.len() as u64);
+            .maintenance_columns()
+            .collect_unsched_hw_days(node, &mut days);
+        record_scan(scanned as u64, matched as u64);
         sorted_unique_days(days)
     }
 }
@@ -190,31 +187,49 @@ impl<'a> BaselineEstimator<'a> {
     /// The probability that a random node has at least one failure of
     /// `class` in a random window of the given length, with the counts
     /// backing it.
+    ///
+    /// Scans the columnar postings with one reused day buffer: the
+    /// per-node gather is already time-sorted (duplicates are tolerated
+    /// by [`covered_window_starts`]), so the loop does no sorting and no
+    /// per-node allocation.
     pub fn failure_probability(&self, class: FailureClass, window: Window) -> WindowCounts {
-        let events = NodeEvents::new(self.system);
+        let columns = self.system.failure_columns();
+        let code = ClassCode::new(class);
         let total_days = self.system.config().observation_days();
         let per_node = self.windows_per_node(window);
         let mut counts = WindowCounts::default();
+        let mut days = Vec::new();
+        let (mut scanned, mut matched) = (0u64, 0u64);
         for node in self.system.nodes() {
-            let days = events.failure_days(node, class);
+            days.clear();
+            let (s, m) = columns.collect_node_days(node, code, &mut days);
+            scanned += s as u64;
+            matched += m as u64;
             counts.hits += covered_window_starts(&days, total_days, window.days());
             counts.total += per_node;
         }
+        record_scan(scanned, matched);
         counts
     }
 
     /// Baseline probability of unscheduled hardware maintenance in a
     /// random window.
     pub fn maintenance_probability(&self, window: Window) -> WindowCounts {
-        let events = NodeEvents::new(self.system);
+        let columns = self.system.maintenance_columns();
         let total_days = self.system.config().observation_days();
         let per_node = self.windows_per_node(window);
         let mut counts = WindowCounts::default();
+        let mut days = Vec::new();
+        let (mut scanned, mut matched) = (0u64, 0u64);
         for node in self.system.nodes() {
-            let days = events.unscheduled_hw_maintenance_days(node);
+            days.clear();
+            let (s, m) = columns.collect_unsched_hw_days(node, &mut days);
+            scanned += s as u64;
+            matched += m as u64;
             counts.hits += covered_window_starts(&days, total_days, window.days());
             counts.total += per_node;
         }
+        record_scan(scanned, matched);
         counts
     }
 

@@ -1,7 +1,15 @@
 //! The trace store: immutable, indexed collections of records.
+//!
+//! Since the columnar refactor, failures are stored as timestamp-sorted
+//! struct-of-arrays columns ([`crate::columns::FailureColumns`]); the
+//! row-struct view behind [`SystemTrace::failures`] is materialized
+//! lazily and cached, so existing consumers see exactly the records (and
+//! record order) the pre-columnar layout produced.
 
+use crate::columns::{ClassCode, FailureColumns, MaintenanceColumns};
 use hpcfail_types::prelude::*;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Builder for a [`SystemTrace`]; collects records in any order, then
 /// [`SystemTraceBuilder::build`] sorts and indexes them.
@@ -91,23 +99,21 @@ impl SystemTraceBuilder {
         temperatures.sort_by_key(|t| t.time);
         maintenance.sort_by_key(|m| (m.time, m.node));
 
-        let nodes = config.nodes as usize;
-        let mut node_failures: Vec<Vec<u32>> = vec![Vec::new(); nodes];
-        for (i, f) in failures.iter().enumerate() {
-            node_failures[f.node.index()].push(i as u32);
-        }
-        let mut node_maintenance: Vec<Vec<u32>> = vec![Vec::new(); nodes];
-        for (i, m) in maintenance.iter().enumerate() {
-            node_maintenance[m.node.index()].push(i as u32);
-        }
+        let columns = FailureColumns::from_records(&failures, config.nodes, config.start);
+        let maint_columns =
+            MaintenanceColumns::from_records(&maintenance, config.nodes, config.start);
+        // The builder already owns the sorted rows; seed the lazy row
+        // cache with them so the CSV/synthetic path never re-materializes.
+        let rows = OnceLock::new();
+        let _ = rows.set(failures);
         SystemTrace {
             config,
-            failures,
-            node_failures,
+            columns,
+            rows,
             jobs,
             temperatures,
             maintenance,
-            node_maintenance,
+            maint_columns,
             layout,
             index: crate::index::TimelineIndex::new(),
         }
@@ -121,12 +127,14 @@ impl SystemTraceBuilder {
 #[derive(Debug, Clone)]
 pub struct SystemTrace {
     config: SystemConfig,
-    failures: Vec<FailureRecord>,
-    node_failures: Vec<Vec<u32>>,
+    columns: FailureColumns,
+    /// Lazily materialized row view of `columns`; seeded eagerly on the
+    /// builder path, built on first access after a snapshot load.
+    rows: OnceLock<Vec<FailureRecord>>,
     jobs: Vec<JobRecord>,
     temperatures: Vec<TemperatureSample>,
     maintenance: Vec<MaintenanceRecord>,
-    node_maintenance: Vec<Vec<u32>>,
+    maint_columns: MaintenanceColumns,
     layout: Option<MachineLayout>,
     /// Lazy caches of day vectors and pooled baselines; see
     /// [`crate::index`]. Cloning yields a cold index.
@@ -134,6 +142,32 @@ pub struct SystemTrace {
 }
 
 impl SystemTrace {
+    /// Assembles a trace from pre-validated columnar parts (the snapshot
+    /// load path). `jobs`, `temperatures` and `maintenance` must already
+    /// be in builder sort order.
+    pub(crate) fn from_parts(
+        config: SystemConfig,
+        columns: FailureColumns,
+        jobs: Vec<JobRecord>,
+        temperatures: Vec<TemperatureSample>,
+        maintenance: Vec<MaintenanceRecord>,
+        layout: Option<MachineLayout>,
+    ) -> SystemTrace {
+        let maint_columns =
+            MaintenanceColumns::from_records(&maintenance, config.nodes, config.start);
+        SystemTrace {
+            config,
+            columns,
+            rows: OnceLock::new(),
+            jobs,
+            temperatures,
+            maintenance,
+            maint_columns,
+            layout,
+            index: crate::index::TimelineIndex::new(),
+        }
+    }
+
     /// The system's static description.
     pub fn config(&self) -> &SystemConfig {
         &self.config
@@ -145,22 +179,33 @@ impl SystemTrace {
     }
 
     /// All failures, sorted by time.
+    ///
+    /// The row view is materialized from the columns on first access and
+    /// cached; hot query kernels use [`SystemTrace::failure_columns`]
+    /// directly and never pay for it.
     pub fn failures(&self) -> &[FailureRecord] {
-        &self.failures
+        self.rows
+            .get_or_init(|| self.columns.materialize(self.config.id))
+    }
+
+    /// The columnar failure storage: timestamp-sorted field arrays plus
+    /// per-node postings.
+    pub fn failure_columns(&self) -> &FailureColumns {
+        &self.columns
     }
 
     /// Failures of one node, in time order.
     pub fn node_failures(&self, node: NodeId) -> impl Iterator<Item = &FailureRecord> + '_ {
-        self.node_failures
-            .get(node.index())
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.failures[i as usize])
+        let rows = self.failures();
+        self.columns
+            .node_postings(node)
+            .iter()
+            .map(move |&i| &rows[i as usize])
     }
 
     /// Number of failures of one node.
     pub fn node_failure_count(&self, node: NodeId) -> usize {
-        self.node_failures.get(node.index()).map_or(0, Vec::len)
+        self.columns.node_event_count(node)
     }
 
     /// All jobs, sorted by dispatch time.
@@ -180,11 +225,16 @@ impl SystemTrace {
 
     /// Maintenance events of one node, in time order.
     pub fn node_maintenance(&self, node: NodeId) -> impl Iterator<Item = &MaintenanceRecord> + '_ {
-        self.node_maintenance
-            .get(node.index())
-            .into_iter()
-            .flatten()
+        self.maint_columns
+            .node_postings(node)
+            .iter()
             .map(move |&i| &self.maintenance[i as usize])
+    }
+
+    /// The columnar maintenance view (postings and unscheduled-hardware
+    /// day column).
+    pub(crate) fn maintenance_columns(&self) -> &MaintenanceColumns {
+        &self.maint_columns
     }
 
     /// The machine-room layout, if available.
@@ -214,16 +264,12 @@ impl SystemTrace {
         after: Timestamp,
         until: Timestamp,
     ) -> bool {
-        let Some(idx) = self.node_failures.get(node.index()) else {
-            return false;
-        };
-        // First failure strictly after `after`.
-        let start = idx.partition_point(|&i| self.failures[i as usize].time <= after);
-        idx[start..]
-            .iter()
-            .map(|&i| &self.failures[i as usize])
-            .take_while(|f| f.time <= until)
-            .any(|f| class.matches(f))
+        self.columns.any_in_window(
+            node,
+            ClassCode::new(class),
+            after.as_seconds(),
+            until.as_seconds(),
+        )
     }
 
     /// Counts node failures of `class` in `(after, until]`.
@@ -234,16 +280,12 @@ impl SystemTrace {
         after: Timestamp,
         until: Timestamp,
     ) -> usize {
-        let Some(idx) = self.node_failures.get(node.index()) else {
-            return 0;
-        };
-        let start = idx.partition_point(|&i| self.failures[i as usize].time <= after);
-        idx[start..]
-            .iter()
-            .map(|&i| &self.failures[i as usize])
-            .take_while(|f| f.time <= until)
-            .filter(|f| class.matches(f))
-            .count()
+        self.columns.count_in_window(
+            node,
+            ClassCode::new(class),
+            after.as_seconds(),
+            until.as_seconds(),
+        )
     }
 
     /// A copy of this trace restricted to records in `[start, end)`,
@@ -264,7 +306,7 @@ impl SystemTrace {
         config.start = start;
         config.end = end.max(start);
         let mut builder = SystemTraceBuilder::new(config);
-        for f in &self.failures {
+        for f in self.failures() {
             if f.time >= start && f.time < end {
                 builder.push_failure(*f);
             }
@@ -298,15 +340,8 @@ impl SystemTrace {
         after: Timestamp,
         until: Timestamp,
     ) -> bool {
-        let Some(idx) = self.node_maintenance.get(node.index()) else {
-            return false;
-        };
-        let start = idx.partition_point(|&i| self.maintenance[i as usize].time <= after);
-        idx[start..]
-            .iter()
-            .map(|&i| &self.maintenance[i as usize])
-            .take_while(|m| m.time <= until)
-            .any(|m| m.is_unscheduled_hardware())
+        self.maint_columns
+            .any_unsched_hw_in_window(node, after.as_seconds(), until.as_seconds())
     }
 }
 
@@ -368,7 +403,10 @@ impl Trace {
 
     /// Total failures across all systems.
     pub fn total_failures(&self) -> usize {
-        self.systems.values().map(|s| s.failures().len()).sum()
+        self.systems
+            .values()
+            .map(|s| s.failure_columns().len())
+            .sum()
     }
 }
 

@@ -1,11 +1,13 @@
 //! Property-based tests for the trace store: window counting against a
-//! brute-force oracle, CSV round-trips over arbitrary records, and
-//! usage-union invariants.
+//! brute-force oracle, the columnar query paths against row-struct
+//! scans, snapshot round-trips, CSV round-trips over arbitrary records,
+//! and usage-union invariants.
 
 use hpcfail_store::csv;
 use hpcfail_store::features::compute_usage;
 use hpcfail_store::query::{covered_window_starts, BaselineEstimator, NodeEvents};
-use hpcfail_store::trace::SystemTraceBuilder;
+use hpcfail_store::snapshot::{decode_snapshot, snapshot_bytes};
+use hpcfail_store::trace::{SystemTraceBuilder, Trace};
 use hpcfail_types::prelude::*;
 use proptest::prelude::*;
 
@@ -44,6 +46,61 @@ fn root_cause(i: u8) -> RootCause {
         4 => RootCause::Software,
         _ => RootCause::Undetermined,
     }
+}
+
+/// A sub-cause consistent with `root`, varied by `pick`, so the
+/// columnar class codes see every namespace.
+fn sub_cause(root: RootCause, pick: u8) -> SubCause {
+    match (root, pick % 3) {
+        (RootCause::Hardware, 0) => SubCause::Hardware(HardwareComponent::Cpu),
+        (RootCause::Hardware, 1) => SubCause::Hardware(HardwareComponent::MemoryDimm),
+        (RootCause::Software, 0) => SubCause::Software(SoftwareCause::Os),
+        (RootCause::Software, 1) => SubCause::Software(SoftwareCause::Pfs),
+        (RootCause::Environment, 0) => SubCause::Environment(EnvironmentCause::PowerOutage),
+        (RootCause::Environment, 1) => SubCause::Environment(EnvironmentCause::Ups),
+        _ => SubCause::None,
+    }
+}
+
+/// The failure classes a query can restrict to, spanning `Any`, root
+/// and sub-cause granularity.
+const QUERY_CLASSES: &[FailureClass] = &[
+    FailureClass::Any,
+    FailureClass::Root(RootCause::Hardware),
+    FailureClass::Root(RootCause::Software),
+    FailureClass::Root(RootCause::Environment),
+    FailureClass::Root(RootCause::Undetermined),
+    FailureClass::Hw(HardwareComponent::Cpu),
+    FailureClass::Hw(HardwareComponent::MemoryDimm),
+    FailureClass::Sw(SoftwareCause::Os),
+    FailureClass::Env(EnvironmentCause::PowerOutage),
+];
+
+fn build_trace(
+    failures: &[(u32, i64, u8, u8)],
+    maintenance: &[(u32, i64, u8)],
+) -> hpcfail_store::trace::SystemTrace {
+    let mut b = SystemTraceBuilder::new(config(5, 100));
+    for &(node, sec, root, pick) in failures {
+        let root = root_cause(root);
+        b.push_failure(FailureRecord::new(
+            SystemId::new(1),
+            NodeId::new(node),
+            Timestamp::from_seconds(sec),
+            root,
+            sub_cause(root, pick),
+        ));
+    }
+    for &(node, sec, flags) in maintenance {
+        b.push_maintenance(MaintenanceRecord {
+            system: SystemId::new(1),
+            node: NodeId::new(node),
+            time: Timestamp::from_seconds(sec),
+            hardware_related: flags & 2 != 0,
+            scheduled: flags & 1 != 0,
+        });
+    }
+    b.build()
 }
 
 proptest! {
@@ -184,6 +241,107 @@ proptest! {
             prop_assert_eq!(
                 indexed.as_slice(), direct.as_slice(),
                 "maintenance days mismatch for {:?}", node
+            );
+        }
+    }
+
+    /// Differential test of the columnar query paths: every class
+    /// granularity (any / root / sub-cause), every node, against plain
+    /// scans over the materialized row structs.
+    #[test]
+    fn columnar_queries_match_row_scans(
+        failures in prop::collection::vec(
+            (0u32..5, 0i64..100 * 86_400, 0u8..6, 0u8..3), 0..60),
+        maintenance in prop::collection::vec(
+            (0u32..5, 0i64..100 * 86_400, 0u8..4), 0..20),
+        after in 0i64..100 * 86_400,
+        span in 1i64..30 * 86_400,
+    ) {
+        let t = build_trace(&failures, &maintenance);
+        let events = NodeEvents::new(&t);
+        let rows = t.failures();
+        let t0 = Timestamp::from_seconds(after);
+        let t1 = Timestamp::from_seconds(after + span);
+        for &class in QUERY_CLASSES {
+            for node in t.nodes() {
+                let mut oracle_days: Vec<i64> = rows
+                    .iter()
+                    .filter(|r| r.node == node && class.matches(r))
+                    .map(|r| r.time.day_index())
+                    .collect();
+                oracle_days.sort_unstable();
+                oracle_days.dedup();
+                prop_assert_eq!(
+                    events.failure_days(node, class),
+                    oracle_days,
+                    "day vector mismatch for {:?} {:?}", node, class
+                );
+                let oracle_count = rows
+                    .iter()
+                    .filter(|r| {
+                        r.node == node && class.matches(r) && r.time > t0 && r.time <= t1
+                    })
+                    .count();
+                prop_assert_eq!(
+                    t.node_failures_in(node, class, t0, t1),
+                    oracle_count,
+                    "window count mismatch for {:?} {:?}", node, class
+                );
+                prop_assert_eq!(
+                    t.node_has_failure_in(node, class, t0, t1),
+                    oracle_count > 0,
+                    "window presence mismatch for {:?} {:?}", node, class
+                );
+            }
+        }
+        for node in t.nodes() {
+            let mut oracle_days: Vec<i64> = t
+                .maintenance()
+                .iter()
+                .filter(|m| m.node == node && m.hardware_related && !m.scheduled)
+                .map(|m| m.time.day_index())
+                .collect();
+            oracle_days.sort_unstable();
+            oracle_days.dedup();
+            prop_assert_eq!(
+                events.unscheduled_hw_maintenance_days(node),
+                oracle_days,
+                "maintenance day mismatch for {:?}", node
+            );
+        }
+    }
+
+    /// A snapshot round trip reproduces the exact row structs and the
+    /// same answers to every query granularity.
+    #[test]
+    fn snapshot_round_trip_is_lossless(
+        failures in prop::collection::vec(
+            (0u32..5, 0i64..100 * 86_400, 0u8..6, 0u8..3), 0..60),
+        maintenance in prop::collection::vec(
+            (0u32..5, 0i64..100 * 86_400, 0u8..4), 0..20),
+    ) {
+        let mut trace = Trace::new();
+        trace.insert_system(build_trace(&failures, &maintenance));
+        let restored = decode_snapshot(&snapshot_bytes(&trace)).expect("round trip");
+        let before = trace.system(SystemId::new(1)).unwrap();
+        let system = restored.system(SystemId::new(1)).unwrap();
+        prop_assert_eq!(before.failures(), system.failures());
+        prop_assert_eq!(before.maintenance(), system.maintenance());
+        let a = BaselineEstimator::new(before);
+        let b = BaselineEstimator::new(system);
+        for &class in QUERY_CLASSES {
+            for window in Window::ALL {
+                prop_assert_eq!(
+                    a.failure_probability(class, window),
+                    b.failure_probability(class, window),
+                    "baseline mismatch for {:?} {:?}", class, window
+                );
+            }
+        }
+        for window in Window::ALL {
+            prop_assert_eq!(
+                a.maintenance_probability(window),
+                b.maintenance_probability(window)
             );
         }
     }
