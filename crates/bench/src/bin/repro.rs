@@ -42,6 +42,9 @@ fn usage() -> String {
            --snapshot PATH  load the trace from a binary .hpcsnap snapshot\n\
                             (one bulk read, no CSV parse) instead of\n\
                             generating a fleet or reading --trace\n\
+           --scenario NAME  generate a scenario pack (builtin name or path\n\
+                            to a scenario JSON file) instead of the\n\
+                            LANL-shaped fleet; the pack's own seed is used\n\
            --write-snapshot PATH  after loading, write the trace to PATH as\n\
                             a .hpcsnap snapshot; with no experiments given\n\
                             the run writes the snapshot and exits\n\
@@ -72,6 +75,7 @@ fn main() -> ExitCode {
     let mut manifest_path: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut snapshot_path: Option<std::path::PathBuf> = None;
+    let mut scenario_name: Option<String> = None;
     let mut write_snapshot_path: Option<std::path::PathBuf> = None;
     let mut policy = IngestPolicy::Strict;
     let mut inject_failure: Option<String> = None;
@@ -105,6 +109,13 @@ fn main() -> ExitCode {
                 Some(path) => snapshot_path = Some(path.into()),
                 None => {
                     eprintln!("--snapshot needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--scenario" => match iter.next() {
+                Some(name) => scenario_name = Some(name.clone()),
+                None => {
+                    eprintln!("--scenario needs a pack name or file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -161,6 +172,10 @@ fn main() -> ExitCode {
     }
     if snapshot_path.is_some() && trace_dir.is_some() {
         eprintln!("--snapshot and --trace are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if scenario_name.is_some() && (snapshot_path.is_some() || trace_dir.is_some()) {
+        eprintln!("--scenario is mutually exclusive with --trace and --snapshot");
         return ExitCode::FAILURE;
     }
     // A bare snapshot-writing run is legal: load (or generate), write
@@ -225,6 +240,26 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    } else if let Some(name) = &scenario_name {
+        let scenario = match hpcfail_synth::scenario::load(name) {
+            Ok(scenario) => scenario,
+            Err(err) => {
+                eprintln!("cannot load scenario {name:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !quiet {
+            eprintln!(
+                "generating scenario {} (seed {})...",
+                scenario.name, scenario.seed
+            );
+        }
+        let pack_seed = scenario.seed;
+        let trace = {
+            let _span = hpcfail_obs::span("repro.generate");
+            scenario.generate().into_store()
+        };
+        ReproContext::from_trace(trace, pack_seed, scale)
     } else {
         if !quiet {
             eprintln!("generating fleet (scale {scale}, seed {seed})...");

@@ -35,6 +35,12 @@ fn demo_trace() -> Trace {
 /// One request per kind, parameterized so proptest can vary the
 /// interesting axes.
 fn requests(seed: (usize, usize, usize)) -> Vec<AnalysisRequest> {
+    requests_for(SystemId::new(2), seed)
+}
+
+/// The same per-kind sample aimed at an arbitrary system (scenario
+/// packs use ids outside the LANL range).
+fn requests_for(system: SystemId, seed: (usize, usize, usize)) -> Vec<AnalysisRequest> {
     let (class_ix, window_ix, scope_ix) = seed;
     let class = [
         FailureClass::Any,
@@ -44,7 +50,6 @@ fn requests(seed: (usize, usize, usize)) -> Vec<AnalysisRequest> {
     ][class_ix % 4];
     let window = Window::ALL[window_ix % Window::ALL.len()];
     let scope = Scope::ALL[scope_ix % Scope::ALL.len()];
-    let system = SystemId::new(2);
     vec![
         AnalysisRequest::TraceSummary,
         AnalysisRequest::Conditional {
@@ -424,6 +429,35 @@ proptest! {
             let back = AnalysisRequest::parse(&wire).expect("parses back");
             prop_assert_eq!(&back, &request);
             prop_assert_eq!(back.canonical(), wire);
+        }
+    }
+}
+
+/// Scenario-pack corpora get the same guarantee as the LANL demo
+/// fleet: on a trace generated from a pack, `Engine::run` must equal
+/// the direct per-analysis calls byte-for-byte for every request kind,
+/// including requests aimed at the pack's own system ids. This is what
+/// lets the load harness treat pack traces and synthetic LANL traces
+/// interchangeably.
+#[test]
+fn engine_equivalence_holds_on_scenario_pack_traces() {
+    // cascading-power is the richest pack: job log, temperature
+    // sensors, and scripted episodes all present.
+    let scenario = hpcfail_synth::scenario::load("cascading-power").expect("builtin pack");
+    let trace = scenario.generate().into_store();
+    let engine = Engine::new(scenario.generate().into_store());
+    let pack_system = SystemId::new(scenario.fleet().systems[0].id);
+    for seed in [(0, 0, 0), (1, 2, 1)] {
+        for request in requests_for(pack_system, seed) {
+            let via_engine = engine.run(&request);
+            let via_direct = direct(&trace, &engine, &request);
+            assert_eq!(via_engine, via_direct, "values for {}", request.kind());
+            assert_eq!(
+                via_engine.to_json().pretty(),
+                via_direct.to_json().pretty(),
+                "bytes for {}",
+                request.kind()
+            );
         }
     }
 }

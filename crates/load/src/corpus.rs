@@ -1,0 +1,270 @@
+//! Deterministic request-corpus enumeration.
+//!
+//! A corpus is a pool of *distinct* [`AnalysisRequest`]s covering all
+//! twenty analysis kinds, parameterized by the systems of the fleet
+//! under test. Enumeration is purely index-driven — no RNG — so the
+//! same fleet description always yields the same corpus, and two
+//! corpus entries never share a cache key (distinctness is enforced on
+//! the canonical serialization, which *is* the server's cache key).
+//!
+//! Requests may name nodes or subsets that do not exist in the trace;
+//! the engine answers those with empty results, which is exactly the
+//! long-tail traffic a real service sees.
+
+use std::collections::BTreeSet;
+
+use hpcfail_core::checkpoint::CheckpointPolicy;
+use hpcfail_core::correlation::Scope;
+use hpcfail_core::engine::AnalysisRequest;
+use hpcfail_core::power::PowerProblem;
+use hpcfail_core::predict::AlarmRule;
+use hpcfail_core::regression_study::StudyFamily;
+use hpcfail_core::temperature::TempPredictor;
+use hpcfail_synth::spec::FleetSpec;
+use hpcfail_types::failure::{FailureClass, RootCause};
+use hpcfail_types::ids::{NodeId, SystemId};
+use hpcfail_types::system::SystemGroup;
+use hpcfail_types::time::Window;
+
+/// What the corpus builder needs to know about one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusSystem {
+    /// LANL-style system id.
+    pub id: SystemId,
+    /// Node count, used to spread node-addressed queries.
+    pub nodes: u32,
+}
+
+/// Extracts corpus systems from a fleet description.
+///
+/// Works on the *spec*, not a generated trace, so HTTP-target runs
+/// never pay for simulation.
+pub fn systems_from_fleet(fleet: &FleetSpec) -> Vec<CorpusSystem> {
+    fleet
+        .systems
+        .iter()
+        .map(|s| CorpusSystem {
+            id: SystemId::new(s.id),
+            nodes: s.nodes,
+        })
+        .collect()
+}
+
+const CLASSES: [FailureClass; 6] = [
+    FailureClass::Any,
+    FailureClass::Root(RootCause::Hardware),
+    FailureClass::Root(RootCause::Software),
+    FailureClass::Root(RootCause::Network),
+    FailureClass::Root(RootCause::HumanError),
+    FailureClass::Root(RootCause::Environment),
+];
+const WINDOWS: [Window; 3] = Window::ALL;
+const SCOPES: [Scope; 3] = [Scope::SameNode, Scope::SameRack, Scope::SameSystem];
+const GROUPS: [SystemGroup; 2] = SystemGroup::ALL;
+const PROBLEMS: [PowerProblem; 4] = [
+    PowerProblem::Outage,
+    PowerProblem::Spike,
+    PowerProblem::PowerSupply,
+    PowerProblem::Ups,
+];
+const PREDICTORS: [TempPredictor; 3] = [
+    TempPredictor::Average,
+    TempPredictor::Maximum,
+    TempPredictor::Variance,
+];
+const FAMILIES: [StudyFamily; 2] = [StudyFamily::Poisson, StudyFamily::NegativeBinomial];
+
+/// Number of request-kind generators cycled by [`build_corpus`].
+const KINDS: usize = 20;
+
+fn pick<T: Copy>(options: &[T], p: usize) -> T {
+    options[p % options.len()]
+}
+
+/// The candidate request for enumeration index `i`.
+///
+/// Index `i` decomposes into a kind (`i % 20`) and a parameter counter
+/// (`i / 20`); each kind maps the counter onto its parameter space.
+/// Kinds with small spaces repeat quickly — the dedup set in
+/// [`build_corpus`] drops the repeats — while kinds with unbounded
+/// spaces (`heaviest-users`, `checkpoint-replay`, …) guarantee the
+/// enumeration never runs dry.
+fn candidate(systems: &[CorpusSystem], i: usize) -> AnalysisRequest {
+    let p = i / KINDS;
+    let sys = systems[p % systems.len()];
+    let nodes = sys.nodes.max(1);
+    match i % KINDS {
+        0 => AnalysisRequest::TraceSummary,
+        1 => AnalysisRequest::Conditional {
+            group: pick(&GROUPS, p),
+            trigger: pick(&CLASSES, p),
+            target: pick(&CLASSES, p / 3),
+            window: pick(&WINDOWS, p / 2),
+            scope: pick(&SCOPES, p / 5),
+        },
+        2 => AnalysisRequest::FleetConditional {
+            trigger: pick(&CLASSES, p),
+            target: pick(&CLASSES, p / 2),
+            window: pick(&WINDOWS, p / 4),
+            scope: pick(&SCOPES, p / 7),
+        },
+        3 => AnalysisRequest::SameTypeSummaries {
+            group: pick(&GROUPS, p),
+            window: pick(&WINDOWS, p / 2),
+            scope: pick(&SCOPES, p / 6),
+        },
+        4 => AnalysisRequest::NodeFailureCounts { system: sys.id },
+        5 => AnalysisRequest::EqualRatesTest {
+            system: sys.id,
+            class: pick(&CLASSES, p),
+            exclude_node0: p.is_multiple_of(2),
+        },
+        6 => AnalysisRequest::NodeVsRest {
+            system: sys.id,
+            node: NodeId::new(p as u32 % nodes),
+            class: pick(&CLASSES, p / 3),
+            window: pick(&WINDOWS, p / 11),
+        },
+        7 => {
+            let width = 1 + p as u32 % 4;
+            let start = p as u32 % nodes;
+            AnalysisRequest::RootCauseShares {
+                system: sys.id,
+                nodes: (0..width)
+                    .map(|k| NodeId::new((start + k) % nodes.max(width)))
+                    .collect(),
+            }
+        }
+        8 => AnalysisRequest::UsageCorrelations { system: sys.id },
+        9 => AnalysisRequest::HeaviestUsers {
+            system: sys.id,
+            k: 1 + p,
+        },
+        10 => AnalysisRequest::EnvBreakdown,
+        11 => AnalysisRequest::PowerConditional {
+            problem: pick(&PROBLEMS, p),
+            target: pick(&CLASSES, p / 4),
+            window: pick(&WINDOWS, p / 9),
+        },
+        12 => AnalysisRequest::MaintenanceAfterPower {
+            problem: pick(&PROBLEMS, p),
+        },
+        13 => AnalysisRequest::TemperatureRegression {
+            system: sys.id,
+            predictor: pick(&PREDICTORS, p),
+            target: pick(&CLASSES, p / 3),
+            family: pick(&FAMILIES, p / 5),
+        },
+        14 => AnalysisRequest::CosmicCorrelation {
+            system: sys.id,
+            class: pick(&CLASSES, p),
+        },
+        15 => AnalysisRequest::RegressionStudy {
+            system: sys.id,
+            family: pick(&FAMILIES, p),
+            exclude_node0: p % 2 == 1,
+        },
+        16 => AnalysisRequest::ArrivalProfile {
+            system: sys.id,
+            class: pick(&CLASSES, p),
+        },
+        17 => AnalysisRequest::AlarmEvaluation {
+            group: pick(&GROUPS, p),
+            trigger: pick(&CLASSES, p / 2),
+            window: pick(&WINDOWS, p / 3),
+        },
+        18 => {
+            if p.is_multiple_of(2) {
+                AnalysisRequest::CheckpointReplay {
+                    group: pick(&GROUPS, p),
+                    policy: CheckpointPolicy::Uniform {
+                        interval_hours: 1.0 + p as f64 * 0.5,
+                    },
+                }
+            } else {
+                AnalysisRequest::CheckpointReplay {
+                    group: pick(&GROUPS, p),
+                    policy: CheckpointPolicy::Adaptive {
+                        base_hours: 2.0 + p as f64,
+                        flagged_hours: 0.5,
+                        rule: AlarmRule {
+                            trigger: pick(&CLASSES, p / 2),
+                            window: pick(&WINDOWS, p),
+                        },
+                    },
+                }
+            }
+        }
+        _ => AnalysisRequest::Availability {
+            system: if p.is_multiple_of(systems.len() + 1) {
+                None
+            } else {
+                Some(sys.id)
+            },
+        },
+    }
+}
+
+/// Enumerates `size` distinct requests over `systems`.
+///
+/// # Panics
+///
+/// If `systems` is empty, or if the enumeration stalls (which would
+/// mean every unbounded generator above was broken by an edit).
+pub fn build_corpus(systems: &[CorpusSystem], size: usize) -> Vec<AnalysisRequest> {
+    assert!(
+        !systems.is_empty(),
+        "corpus needs at least one system to parameterize requests"
+    );
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::with_capacity(size);
+    let mut i = 0usize;
+    while out.len() < size {
+        assert!(
+            i < size.saturating_mul(64) + 4096,
+            "corpus enumeration stalled at {} of {size} requests",
+            out.len()
+        );
+        let request = candidate(systems, i);
+        i += 1;
+        if seen.insert(request.canonical()) {
+            out.push(request);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_systems() -> Vec<CorpusSystem> {
+        vec![
+            CorpusSystem {
+                id: SystemId::new(2),
+                nodes: 49,
+            },
+            CorpusSystem {
+                id: SystemId::new(20),
+                nodes: 512,
+            },
+        ]
+    }
+
+    #[test]
+    fn corpus_is_distinct_and_covers_every_kind() {
+        let corpus = build_corpus(&demo_systems(), 300);
+        assert_eq!(corpus.len(), 300);
+        let canon: BTreeSet<String> = corpus.iter().map(|r| r.canonical()).collect();
+        assert_eq!(canon.len(), 300, "cache keys must be distinct");
+        let kinds: BTreeSet<&str> = corpus.iter().map(|r| r.kind()).collect();
+        assert_eq!(kinds.len(), KINDS, "all request kinds represented");
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = build_corpus(&demo_systems(), 128);
+        let b = build_corpus(&demo_systems(), 128);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Plan expansion: profile × corpus × seed → concrete request sequence.
+//!
+//! The plan is generated up front by one seeded RNG walking the phases
+//! in order, so it is a pure function of `(MixConfig, corpus size)`.
+//! Executors only *consume* the plan; however many threads they use,
+//! the sequence of requests — and therefore the cache-key stream the
+//! server sees — is byte-identical. [`canonical_bytes`] materializes
+//! that claim so tests can compare entire plans with one `assert_eq!`.
+
+use std::collections::BTreeMap;
+
+use hpcfail_core::engine::AnalysisRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mix::{MixConfig, MixError, PhaseKind};
+
+/// One executable unit: a single query or a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanItem {
+    /// Index of the originating phase in `MixConfig::phases`.
+    pub phase: usize,
+    /// Corpus indices; length 1 for single queries, `batch` for batches.
+    pub requests: Vec<usize>,
+    /// `x-deadline-ms` to send, for deadline-laden traffic.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The fully expanded request sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadPlan {
+    /// Items in issue order.
+    pub items: Vec<PlanItem>,
+    /// Total queries across all items (batches counted per query).
+    pub queries: usize,
+}
+
+/// Zipfian sampler over ranks `0..n` with exponent `s`.
+///
+/// Rank `r` has weight `1 / (r + 1)^s`; sampling is a uniform draw on
+/// the cumulative weights plus a binary search.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("n >= 1 validated");
+        let u = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+/// Spreads hot-key ranks across the hot region so the hot set is not
+/// just the first few corpus entries (which would skew toward a single
+/// request kind). Stride mapping is collision-free because
+/// `rank < hot_keys` and `stride = region / hot_keys >= 1`.
+fn rank_to_index(rank: usize, hot_keys: usize, region: usize) -> usize {
+    let stride = (region / hot_keys).max(1);
+    rank * stride % region
+}
+
+/// Expands `config` into a plan over a corpus of `corpus_size` entries.
+///
+/// # Errors
+///
+/// [`MixError`] when the profile fails validation or the corpus is
+/// smaller than `config.corpus_size`.
+pub fn build(config: &MixConfig, corpus_size: usize) -> Result<LoadPlan, MixError> {
+    config.validate()?;
+    if corpus_size < config.corpus_size {
+        return Err(MixError::BadParameter(format!(
+            "corpus has {corpus_size} entries, profile needs {}",
+            config.corpus_size
+        )));
+    }
+    let region = config.hot_region();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut items = Vec::new();
+    let mut queries = 0usize;
+    let mut cold_cursor = 0usize;
+    for (phase_index, phase) in config.phases.iter().enumerate() {
+        match phase.kind {
+            PhaseKind::HotKey { zipf_s, hot_keys } => {
+                let zipf = Zipf::new(hot_keys, zipf_s);
+                for _ in 0..phase.requests {
+                    let rank = zipf.sample(&mut rng);
+                    items.push(PlanItem {
+                        phase: phase_index,
+                        requests: vec![rank_to_index(rank, hot_keys, region)],
+                        deadline_ms: None,
+                    });
+                    queries += 1;
+                }
+            }
+            PhaseKind::BatchHeavy {
+                zipf_s,
+                hot_keys,
+                batch,
+            } => {
+                let zipf = Zipf::new(hot_keys, zipf_s);
+                for _ in 0..phase.requests {
+                    let indices: Vec<usize> = (0..batch)
+                        .map(|_| rank_to_index(zipf.sample(&mut rng), hot_keys, region))
+                        .collect();
+                    queries += indices.len();
+                    items.push(PlanItem {
+                        phase: phase_index,
+                        requests: indices,
+                        deadline_ms: None,
+                    });
+                }
+            }
+            PhaseKind::DeadlineLaden {
+                zipf_s,
+                hot_keys,
+                deadline_ms,
+            } => {
+                let zipf = Zipf::new(hot_keys, zipf_s);
+                for _ in 0..phase.requests {
+                    let rank = zipf.sample(&mut rng);
+                    items.push(PlanItem {
+                        phase: phase_index,
+                        requests: vec![rank_to_index(rank, hot_keys, region)],
+                        deadline_ms: Some(deadline_ms),
+                    });
+                    queries += 1;
+                }
+            }
+            PhaseKind::ColdCache => {
+                for _ in 0..phase.requests {
+                    items.push(PlanItem {
+                        phase: phase_index,
+                        requests: vec![region + cold_cursor],
+                        deadline_ms: None,
+                    });
+                    cold_cursor += 1;
+                    queries += 1;
+                }
+            }
+        }
+    }
+    Ok(LoadPlan { items, queries })
+}
+
+/// Serializes the entire planned request stream, in issue order, to a
+/// byte string: the determinism tests' ground truth.
+pub fn canonical_bytes(plan: &LoadPlan, corpus: &[AnalysisRequest]) -> Vec<u8> {
+    let mut out = String::new();
+    for item in &plan.items {
+        out.push_str("item phase=");
+        out.push_str(&item.phase.to_string());
+        if let Some(deadline) = item.deadline_ms {
+            out.push_str(" deadline_ms=");
+            out.push_str(&deadline.to_string());
+        }
+        out.push('\n');
+        for &index in &item.requests {
+            out.push_str(&corpus[index].canonical());
+            out.push('\n');
+        }
+    }
+    out.into_bytes()
+}
+
+/// How many queries the plan issues per request kind.
+pub fn per_kind_counts(plan: &LoadPlan, corpus: &[AnalysisRequest]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for item in &plan.items {
+        for &index in &item.requests {
+            *counts
+                .entry(corpus[index].kind().to_owned())
+                .or_insert(0u64) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build_corpus, CorpusSystem};
+    use hpcfail_types::ids::SystemId;
+
+    fn corpus() -> Vec<AnalysisRequest> {
+        build_corpus(
+            &[CorpusSystem {
+                id: SystemId::new(2),
+                nodes: 49,
+            }],
+            96,
+        )
+    }
+
+    #[test]
+    fn plan_respects_phase_structure() {
+        let config = MixConfig::smoke();
+        let corpus = corpus();
+        let plan = build(&config, corpus.len()).expect("smoke profile plans");
+        assert_eq!(
+            plan.items.len(),
+            config.phases.iter().map(|p| p.requests).sum::<usize>()
+        );
+        assert_eq!(plan.queries, 120 + 10 * 4 + 40);
+        let region = config.hot_region();
+        // Cold items walk the reserved tail exactly once, in order.
+        let cold: Vec<usize> = plan
+            .items
+            .iter()
+            .filter(|i| i.phase == 2)
+            .map(|i| i.requests[0])
+            .collect();
+        assert_eq!(cold, (region..region + 40).collect::<Vec<_>>());
+        // Hot items never touch the reserve.
+        assert!(plan
+            .items
+            .iter()
+            .filter(|i| i.phase != 2)
+            .all(|i| i.requests.iter().all(|&r| r < region)));
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let corpus = corpus();
+        let a = build(&MixConfig::smoke(), corpus.len()).unwrap();
+        let b = build(&MixConfig::smoke(), corpus.len()).unwrap();
+        assert_eq!(canonical_bytes(&a, &corpus), canonical_bytes(&b, &corpus));
+        let mut other = MixConfig::smoke();
+        other.seed ^= 1;
+        let c = build(&other, corpus.len()).unwrap();
+        assert_ne!(canonical_bytes(&a, &corpus), canonical_bytes(&c, &corpus));
+    }
+}

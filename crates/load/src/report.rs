@@ -1,0 +1,621 @@
+//! The versioned `BENCH_serve.json` report and its budget.
+//!
+//! The report is the harness's single artifact: a schema-versioned
+//! JSON document with the profile, the measured latency quantiles,
+//! throughput, error/timeout counts, cache outcomes, and the budget it
+//! was checked against. CI regenerates it against a live server and
+//! fails the build when a budget line is violated; the committed copy
+//! documents the last known-good measurement.
+//!
+//! Budgets are deliberately loose. They are tripwires for collapse —
+//! a p50 that jumps 100x, a cache that stops hitting, errors where
+//! there were none — not performance regressions measured in percent;
+//! shared CI runners are far too noisy for that. Anything subtler
+//! belongs in criterion benches on quiet hardware.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hpcfail_obs::json::{self, Json};
+
+use crate::mix::MixConfig;
+use crate::run::{quantile_us, RunStats};
+
+/// Schema version of `BENCH_serve.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Latency quantiles, microseconds, nearest-rank over per-item wall
+/// times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quantiles {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl Quantiles {
+    fn of(sorted: &[u64]) -> Self {
+        Quantiles {
+            p50_us: quantile_us(sorted, 0.50),
+            p90_us: quantile_us(sorted, 0.90),
+            p99_us: quantile_us(sorted, 0.99),
+            max_us: sorted.last().copied().unwrap_or(0),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("p50_us", Json::Num(self.p50_us as f64)),
+            ("p90_us", Json::Num(self.p90_us as f64)),
+            ("p99_us", Json::Num(self.p99_us as f64)),
+            ("max_us", Json::Num(self.max_us as f64)),
+        ])
+    }
+}
+
+/// Per-phase slice of the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseReport {
+    /// Phase label.
+    pub phase: String,
+    /// Plan items issued.
+    pub items: u64,
+    /// Queries issued.
+    pub queries: u64,
+    /// Errors.
+    pub errors: u64,
+    /// Timeouts.
+    pub timeouts: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Coalesced queries.
+    pub coalesced: u64,
+    /// Latency quantiles for this phase.
+    pub latency: Quantiles,
+}
+
+/// Pass/fail thresholds the report is checked against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Ceiling on overall median item latency.
+    pub max_p50_us: u64,
+    /// Ceiling on overall p99 item latency.
+    pub max_p99_us: u64,
+    /// Floor on overall throughput, queries per second.
+    pub min_throughput_qps: f64,
+    /// Floor on the cache hit rate over known-outcome lookups.
+    pub min_hit_rate: f64,
+    /// Ceiling on errors as a fraction of items (0 = any error fails).
+    pub max_error_fraction: f64,
+    /// Ceiling on timeouts as a fraction of items.
+    pub max_timeout_fraction: f64,
+}
+
+impl Budget {
+    /// The pinned CI budget: collapse tripwires, not perf gates.
+    pub fn ci() -> Self {
+        Budget {
+            max_p50_us: 200_000,
+            max_p99_us: 5_000_000,
+            min_throughput_qps: 10.0,
+            min_hit_rate: 0.2,
+            max_error_fraction: 0.0,
+            max_timeout_fraction: 0.02,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("max_p50_us", Json::Num(self.max_p50_us as f64)),
+            ("max_p99_us", Json::Num(self.max_p99_us as f64)),
+            ("min_throughput_qps", Json::Num(self.min_throughput_qps)),
+            ("min_hit_rate", Json::Num(self.min_hit_rate)),
+            ("max_error_fraction", Json::Num(self.max_error_fraction)),
+            ("max_timeout_fraction", Json::Num(self.max_timeout_fraction)),
+        ])
+    }
+}
+
+/// The complete `BENCH_serve.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version; always [`SCHEMA_VERSION`] for freshly built
+    /// reports.
+    pub schema: u64,
+    /// Profile name ("ci", ...).
+    pub profile: String,
+    /// Plan seed.
+    pub seed: u64,
+    /// Target label ("http" / "in-process").
+    pub target: String,
+    /// Corpus description ("scale=0.05 seed=42" / "scenario=...").
+    pub corpus: String,
+    /// Worker threads.
+    pub threads: u64,
+    /// Plan items issued.
+    pub items: u64,
+    /// Queries issued.
+    pub queries: u64,
+    /// Errors.
+    pub errors: u64,
+    /// Timeouts.
+    pub timeouts: u64,
+    /// Wall-clock, milliseconds.
+    pub wall_ms: u64,
+    /// Queries per second over the wall clock.
+    pub throughput_qps: f64,
+    /// Overall latency quantiles.
+    pub latency: Quantiles,
+    /// Total cache hits.
+    pub hits: u64,
+    /// Total cache misses.
+    pub misses: u64,
+    /// Total coalesced queries.
+    pub coalesced: u64,
+    /// Hits over known-outcome lookups.
+    pub hit_rate: f64,
+    /// Queries executed per request kind.
+    pub per_kind: BTreeMap<String, u64>,
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseReport>,
+    /// The budget this report was checked against.
+    pub budget: Budget,
+}
+
+/// Why a report failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportError {
+    /// The text is not valid JSON.
+    Json(String),
+    /// The JSON does not match the schema.
+    Schema(String),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(message) => write!(f, "malformed JSON: {message}"),
+            ReportError::Schema(message) => write!(f, "schema violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl BenchReport {
+    /// Folds run observations into a report.
+    pub fn build(
+        config: &MixConfig,
+        stats: &RunStats,
+        target: &str,
+        corpus: &str,
+        threads: usize,
+        budget: Budget,
+    ) -> Self {
+        let sorted = stats.sorted_latencies_us();
+        let (hits, misses, coalesced) = stats.cache_totals();
+        let wall_ms = stats.wall.as_millis().max(1) as u64;
+        let phases = stats
+            .phases
+            .iter()
+            .filter(|p| p.items > 0)
+            .map(|p| {
+                let mut latencies = p.latencies_us.clone();
+                latencies.sort_unstable();
+                PhaseReport {
+                    phase: p.label.clone(),
+                    items: p.items,
+                    queries: p.queries,
+                    errors: p.errors,
+                    timeouts: p.timeouts,
+                    hits: p.hits,
+                    misses: p.misses,
+                    coalesced: p.coalesced,
+                    latency: Quantiles::of(&latencies),
+                }
+            })
+            .collect();
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            profile: config.profile.clone(),
+            seed: config.seed,
+            target: target.to_owned(),
+            corpus: corpus.to_owned(),
+            threads: threads as u64,
+            items: stats.items(),
+            queries: stats.queries(),
+            errors: stats.errors(),
+            timeouts: stats.timeouts(),
+            wall_ms,
+            throughput_qps: stats.queries() as f64 / (wall_ms as f64 / 1000.0),
+            latency: Quantiles::of(&sorted),
+            hits,
+            misses,
+            coalesced,
+            hit_rate: stats.hit_rate(),
+            per_kind: stats.executed_per_kind.clone(),
+            phases,
+            budget,
+        }
+    }
+
+    /// Serializes to the canonical JSON document.
+    pub fn to_json(&self) -> Json {
+        let per_kind = Json::Obj(
+            self.per_kind
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("phase", Json::Str(p.phase.clone())),
+                        ("items", Json::Num(p.items as f64)),
+                        ("queries", Json::Num(p.queries as f64)),
+                        ("errors", Json::Num(p.errors as f64)),
+                        ("timeouts", Json::Num(p.timeouts as f64)),
+                        ("hits", Json::Num(p.hits as f64)),
+                        ("misses", Json::Num(p.misses as f64)),
+                        ("coalesced", Json::Num(p.coalesced as f64)),
+                        ("latency", p.latency.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("schema", Json::Num(self.schema as f64)),
+            ("profile", Json::Str(self.profile.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("target", Json::Str(self.target.clone())),
+            ("corpus", Json::Str(self.corpus.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("items", Json::Num(self.items as f64)),
+            ("queries", Json::Num(self.queries as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("timeouts", Json::Num(self.timeouts as f64)),
+            ("wall_ms", Json::Num(self.wall_ms as f64)),
+            ("throughput_qps", Json::Num(self.throughput_qps)),
+            ("latency", self.latency.to_json()),
+            ("hits", Json::Num(self.hits as f64)),
+            ("misses", Json::Num(self.misses as f64)),
+            ("coalesced", Json::Num(self.coalesced as f64)),
+            ("hit_rate", Json::Num(self.hit_rate)),
+            ("per_kind", per_kind),
+            ("phases", phases),
+            ("budget", self.budget.to_json()),
+        ])
+    }
+
+    /// The pretty-printed document, trailing newline included.
+    pub fn pretty(&self) -> String {
+        let mut text = self.to_json().pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Parses and validates a report document.
+    ///
+    /// Strict: unknown top-level, latency, or budget keys are schema
+    /// violations, so a drifted writer cannot silently pass CI.
+    ///
+    /// # Errors
+    ///
+    /// [`ReportError`] on malformed JSON or schema drift.
+    pub fn parse(text: &str) -> Result<Self, ReportError> {
+        let json = json::parse(text).map_err(|e| ReportError::Json(e.to_string()))?;
+        let Json::Obj(map) = &json else {
+            return Err(ReportError::Schema("top level must be an object".into()));
+        };
+        const TOP_KEYS: [&str; 20] = [
+            "schema",
+            "profile",
+            "seed",
+            "target",
+            "corpus",
+            "threads",
+            "items",
+            "queries",
+            "errors",
+            "timeouts",
+            "wall_ms",
+            "throughput_qps",
+            "latency",
+            "hits",
+            "misses",
+            "coalesced",
+            "hit_rate",
+            "per_kind",
+            "phases",
+            "budget",
+        ];
+        for key in map.keys() {
+            if !TOP_KEYS.contains(&key.as_str()) {
+                return Err(ReportError::Schema(format!("unknown key {key:?}")));
+            }
+        }
+        let schema = get_u64(&json, "schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(ReportError::Schema(format!(
+                "schema {schema} unsupported, expected {SCHEMA_VERSION}"
+            )));
+        }
+        let per_kind_json = json
+            .get("per_kind")
+            .ok_or_else(|| ReportError::Schema("missing per_kind".into()))?;
+        let Json::Obj(per_kind_map) = per_kind_json else {
+            return Err(ReportError::Schema("per_kind must be an object".into()));
+        };
+        let mut per_kind = BTreeMap::new();
+        for (kind, count) in per_kind_map {
+            per_kind.insert(
+                kind.clone(),
+                count.as_u64().ok_or_else(|| {
+                    ReportError::Schema(format!("per_kind[{kind:?}] must be a count"))
+                })?,
+            );
+        }
+        let phases_json = json
+            .get("phases")
+            .and_then(|p| p.as_arr())
+            .ok_or_else(|| ReportError::Schema("missing phases array".into()))?;
+        let mut phases = Vec::with_capacity(phases_json.len());
+        for (i, phase) in phases_json.iter().enumerate() {
+            let context = format!("phases[{i}]");
+            phases.push(PhaseReport {
+                phase: get_str(phase, "phase")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                items: get_u64(phase, "items")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                queries: get_u64(phase, "queries")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                errors: get_u64(phase, "errors")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                timeouts: get_u64(phase, "timeouts")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                hits: get_u64(phase, "hits")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                misses: get_u64(phase, "misses")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                coalesced: get_u64(phase, "coalesced")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                latency: parse_quantiles(
+                    phase.get("latency").ok_or_else(|| {
+                        ReportError::Schema(format!("{context}: missing latency"))
+                    })?,
+                )?,
+            });
+        }
+        Ok(BenchReport {
+            schema,
+            profile: get_str(&json, "profile")?,
+            seed: get_u64(&json, "seed")?,
+            target: get_str(&json, "target")?,
+            corpus: get_str(&json, "corpus")?,
+            threads: get_u64(&json, "threads")?,
+            items: get_u64(&json, "items")?,
+            queries: get_u64(&json, "queries")?,
+            errors: get_u64(&json, "errors")?,
+            timeouts: get_u64(&json, "timeouts")?,
+            wall_ms: get_u64(&json, "wall_ms")?,
+            throughput_qps: get_f64(&json, "throughput_qps")?,
+            latency: parse_quantiles(
+                json.get("latency")
+                    .ok_or_else(|| ReportError::Schema("missing latency".into()))?,
+            )?,
+            hits: get_u64(&json, "hits")?,
+            misses: get_u64(&json, "misses")?,
+            coalesced: get_u64(&json, "coalesced")?,
+            hit_rate: get_f64(&json, "hit_rate")?,
+            per_kind,
+            phases,
+            budget: parse_budget(
+                json.get("budget")
+                    .ok_or_else(|| ReportError::Schema("missing budget".into()))?,
+            )?,
+        })
+    }
+
+    /// Budget violations, empty when the report is within budget.
+    pub fn check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let budget = &self.budget;
+        if self.latency.p50_us > budget.max_p50_us {
+            violations.push(format!(
+                "p50 {}us exceeds budget {}us",
+                self.latency.p50_us, budget.max_p50_us
+            ));
+        }
+        if self.latency.p99_us > budget.max_p99_us {
+            violations.push(format!(
+                "p99 {}us exceeds budget {}us",
+                self.latency.p99_us, budget.max_p99_us
+            ));
+        }
+        if self.throughput_qps < budget.min_throughput_qps {
+            violations.push(format!(
+                "throughput {:.1} qps below budget {:.1}",
+                self.throughput_qps, budget.min_throughput_qps
+            ));
+        }
+        if self.hit_rate < budget.min_hit_rate {
+            violations.push(format!(
+                "cache hit rate {:.3} below budget {:.3}",
+                self.hit_rate, budget.min_hit_rate
+            ));
+        }
+        let items = self.items.max(1) as f64;
+        if self.errors as f64 / items > budget.max_error_fraction {
+            violations.push(format!(
+                "{} errors exceed budgeted fraction {:.3}",
+                self.errors, budget.max_error_fraction
+            ));
+        }
+        if self.timeouts as f64 / items > budget.max_timeout_fraction {
+            violations.push(format!(
+                "{} timeouts exceed budgeted fraction {:.3}",
+                self.timeouts, budget.max_timeout_fraction
+            ));
+        }
+        violations
+    }
+}
+
+fn get_u64(json: &Json, key: &str) -> Result<u64, ReportError> {
+    json.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| ReportError::Schema(format!("missing or non-integer {key:?}")))
+}
+
+fn get_f64(json: &Json, key: &str) -> Result<f64, ReportError> {
+    json.get(key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| ReportError::Schema(format!("missing or non-numeric {key:?}")))
+}
+
+fn get_str(json: &Json, key: &str) -> Result<String, ReportError> {
+    json.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .ok_or_else(|| ReportError::Schema(format!("missing or non-string {key:?}")))
+}
+
+fn parse_quantiles(json: &Json) -> Result<Quantiles, ReportError> {
+    let Json::Obj(map) = json else {
+        return Err(ReportError::Schema("latency must be an object".into()));
+    };
+    for key in map.keys() {
+        if !["p50_us", "p90_us", "p99_us", "max_us"].contains(&key.as_str()) {
+            return Err(ReportError::Schema(format!("unknown latency key {key:?}")));
+        }
+    }
+    Ok(Quantiles {
+        p50_us: get_u64(json, "p50_us")?,
+        p90_us: get_u64(json, "p90_us")?,
+        p99_us: get_u64(json, "p99_us")?,
+        max_us: get_u64(json, "max_us")?,
+    })
+}
+
+fn parse_budget(json: &Json) -> Result<Budget, ReportError> {
+    let Json::Obj(map) = json else {
+        return Err(ReportError::Schema("budget must be an object".into()));
+    };
+    for key in map.keys() {
+        if ![
+            "max_p50_us",
+            "max_p99_us",
+            "min_throughput_qps",
+            "min_hit_rate",
+            "max_error_fraction",
+            "max_timeout_fraction",
+        ]
+        .contains(&key.as_str())
+        {
+            return Err(ReportError::Schema(format!("unknown budget key {key:?}")));
+        }
+    }
+    Ok(Budget {
+        max_p50_us: get_u64(json, "max_p50_us")?,
+        max_p99_us: get_u64(json, "max_p99_us")?,
+        min_throughput_qps: get_f64(json, "min_throughput_qps")?,
+        min_hit_rate: get_f64(json, "min_hit_rate")?,
+        max_error_fraction: get_f64(json, "max_error_fraction")?,
+        max_timeout_fraction: get_f64(json, "max_timeout_fraction")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            profile: "ci".into(),
+            seed: 2026,
+            target: "http".into(),
+            corpus: "scale=0.05 seed=42".into(),
+            threads: 4,
+            items: 544,
+            queries: 768,
+            errors: 0,
+            timeouts: 0,
+            wall_ms: 1234,
+            throughput_qps: 622.4,
+            latency: Quantiles {
+                p50_us: 850,
+                p90_us: 4200,
+                p99_us: 21_000,
+                max_us: 80_000,
+            },
+            hits: 400,
+            misses: 250,
+            coalesced: 3,
+            hit_rate: 400.0 / 650.0,
+            per_kind: BTreeMap::from([("trace-summary".to_owned(), 12u64)]),
+            phases: vec![PhaseReport {
+                phase: "hot-key".into(),
+                items: 256,
+                queries: 256,
+                errors: 0,
+                timeouts: 0,
+                hits: 230,
+                misses: 26,
+                coalesced: 0,
+                latency: Quantiles::default(),
+            }],
+            budget: Budget::ci(),
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = sample();
+        let parsed = BenchReport::parse(&report.pretty()).expect("own output parses");
+        assert_eq!(parsed, report);
+        // Canonical: re-serialization is byte-stable.
+        assert_eq!(parsed.pretty(), report.pretty());
+    }
+
+    #[test]
+    fn parse_rejects_drift() {
+        let report = sample();
+        let text = report.pretty().replace("\"schema\": 1", "\"schema\": 99");
+        assert!(matches!(
+            BenchReport::parse(&text),
+            Err(ReportError::Schema(_))
+        ));
+        let text = report
+            .pretty()
+            .replace("\"seed\": 2026", "\"seed\": 2026,\n  \"surprise\": true");
+        assert!(matches!(
+            BenchReport::parse(&text),
+            Err(ReportError::Schema(_))
+        ));
+        assert!(matches!(
+            BenchReport::parse("not json"),
+            Err(ReportError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn budget_violations_are_reported() {
+        let mut report = sample();
+        assert!(report.check().is_empty());
+        report.latency.p50_us = 10_000_000;
+        report.errors = 3;
+        report.hit_rate = 0.01;
+        let violations = report.check();
+        assert_eq!(violations.len(), 3);
+    }
+}

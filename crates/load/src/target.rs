@@ -1,0 +1,219 @@
+//! Where planned requests go: a live server or an in-process engine.
+//!
+//! The in-process target is not a mock — it reuses the *server's own*
+//! result cache ([`hpcfail_serve::cache::ResultCache`]) with the
+//! server's cache key `(engine fingerprint, canonical request)` and
+//! renders bodies with the server's exact expression
+//! (`engine.run(req).to_json().pretty()`), so harness bodies are
+//! byte-identical to `/query` responses and the differential tests can
+//! hold both paths to the same answer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpcfail_core::engine::{AnalysisRequest, Engine};
+use hpcfail_obs::json::Json;
+use hpcfail_serve::cache::{CacheKey, ResultCache};
+use hpcfail_serve::Client;
+use hpcfail_store::trace::Trace;
+
+/// What one call produced, as the harness saw it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// HTTP status (200 for in-process success); 0 = transport error.
+    pub status: u16,
+    /// Queries served from cache.
+    pub hits: u64,
+    /// Queries computed fresh.
+    pub misses: u64,
+    /// Queries that piggybacked on an identical in-flight query.
+    pub coalesced: u64,
+    /// Queries whose cache outcome is unknowable (HTTP batches carry
+    /// no per-query cache header).
+    pub unknown: u64,
+    /// The call hit its deadline (HTTP 504).
+    pub timeout: bool,
+    /// Transport-level failure, if any.
+    pub error: Option<String>,
+    /// The response body.
+    pub body: String,
+}
+
+impl CallOutcome {
+    fn transport_error(message: String) -> Self {
+        CallOutcome {
+            status: 0,
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            unknown: 0,
+            timeout: false,
+            error: Some(message),
+            body: String::new(),
+        }
+    }
+}
+
+/// A sink for planned requests.
+pub trait Target: Sync {
+    /// Issues one plan item: a single query (`requests.len() == 1`) or
+    /// a batch. Returns what happened; implementations never panic on
+    /// transport failures.
+    fn call(&self, requests: &[&AnalysisRequest], deadline_ms: Option<u64>) -> CallOutcome;
+
+    /// Stable label recorded in the report ("in-process" / "http").
+    fn label(&self) -> &'static str;
+}
+
+/// In-process target: the engine behind the server's own result cache.
+pub struct InProcess {
+    engine: Engine,
+    fingerprint: u64,
+    cache: ResultCache,
+}
+
+impl InProcess {
+    /// Builds the target from a trace, with a result cache of
+    /// `cache_capacity` entries (0 disables caching, like the server).
+    pub fn new(trace: Trace, cache_capacity: usize) -> Self {
+        let engine = Engine::new(trace);
+        let fingerprint = engine.fingerprint();
+        InProcess {
+            engine,
+            fingerprint,
+            cache: ResultCache::new(cache_capacity),
+        }
+    }
+
+    /// The engine, for differential comparison against direct calls.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Renders one query body exactly as the server would, returning
+    /// `(body, was_cache_hit)`.
+    fn render(&self, request: &AnalysisRequest) -> (Arc<String>, bool) {
+        let key: CacheKey = (self.fingerprint, request.canonical());
+        if let Some(body) = self.cache.get(&key) {
+            return (body, true);
+        }
+        let body = Arc::new(self.engine.run(request).to_json().pretty());
+        self.cache.put(key, Arc::clone(&body));
+        (body, false)
+    }
+}
+
+impl Target for InProcess {
+    fn call(&self, requests: &[&AnalysisRequest], _deadline_ms: Option<u64>) -> CallOutcome {
+        let mut hits = 0;
+        let mut misses = 0;
+        if requests.len() == 1 {
+            let (body, hit) = self.render(requests[0]);
+            if hit {
+                hits = 1;
+            } else {
+                misses = 1;
+            }
+            return CallOutcome {
+                status: 200,
+                hits,
+                misses,
+                coalesced: 0,
+                unknown: 0,
+                timeout: false,
+                error: None,
+                body: (*body).clone(),
+            };
+        }
+        // Mirror handle_batch: each element is the exact /query body,
+        // embedded as a JSON string.
+        let mut bodies = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (body, hit) = self.render(request);
+            if hit {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            bodies.push(Json::Str((*body).clone()));
+        }
+        CallOutcome {
+            status: 200,
+            hits,
+            misses,
+            coalesced: 0,
+            unknown: 0,
+            timeout: false,
+            error: None,
+            body: Json::obj([("results", Json::Arr(bodies))]).pretty(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "in-process"
+    }
+}
+
+/// HTTP target: a live `hpcfail-serve` instance.
+pub struct Http {
+    client: Client,
+}
+
+impl Http {
+    /// A target for the server at `addr` (`host:port`).
+    pub fn new(addr: &str) -> Self {
+        Http {
+            client: Client::new(addr).with_timeout(Duration::from_secs(60)),
+        }
+    }
+
+    /// The underlying client (for `/shutdown` etc.).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+}
+
+impl Target for Http {
+    fn call(&self, requests: &[&AnalysisRequest], deadline_ms: Option<u64>) -> CallOutcome {
+        let deadline_value = deadline_ms.map(|d| d.to_string());
+        let mut headers: Vec<(&str, &str)> = Vec::new();
+        if let Some(value) = &deadline_value {
+            headers.push(("x-deadline-ms", value));
+        }
+        let (path, body) = if requests.len() == 1 {
+            ("/query", requests[0].canonical())
+        } else {
+            let items: Vec<Json> = requests.iter().map(|r| r.to_json()).collect();
+            ("/batch", Json::Arr(items).pretty())
+        };
+        let response = match self.client.post(path, &body, &headers) {
+            Ok(response) => response,
+            Err(err) => return CallOutcome::transport_error(err.to_string()),
+        };
+        let mut outcome = CallOutcome {
+            status: response.status,
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            unknown: 0,
+            timeout: response.status == 504,
+            error: None,
+            body: response.body,
+        };
+        if requests.len() == 1 {
+            match response.headers.iter().find(|(n, _)| n == "x-cache") {
+                Some((_, v)) if v == "hit" => outcome.hits = 1,
+                Some((_, v)) if v == "miss" => outcome.misses = 1,
+                Some((_, v)) if v == "coalesced" => outcome.coalesced = 1,
+                _ => outcome.unknown = 1,
+            }
+        } else {
+            outcome.unknown = requests.len() as u64;
+        }
+        outcome
+    }
+
+    fn label(&self) -> &'static str {
+        "http"
+    }
+}

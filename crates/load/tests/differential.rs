@@ -1,0 +1,69 @@
+//! Satellite guarantee: harness answers are the server's answers.
+//!
+//! For every query the harness can issue against a scenario-pack
+//! trace, the in-process target must return bytes identical to calling
+//! `Engine::run` directly and rendering the result the way `/query`
+//! does (`to_json().pretty()`). Batches must be the `/batch` wrapping
+//! of those same bytes. The in-process target reuses the server's
+//! result cache, so this also proves the cache returns the body it was
+//! handed, verbatim, on every hit.
+
+use hpcfail_core::engine::AnalysisRequest;
+use hpcfail_load::{build_corpus, systems_from_fleet, InProcess, Target};
+use hpcfail_obs::json::Json;
+use hpcfail_synth::scenario;
+
+fn assert_pack_differential(pack: &str, corpus_size: usize) {
+    let scenario = scenario::load(pack).expect("builtin pack loads");
+    let systems = systems_from_fleet(&scenario.fleet());
+    let corpus = build_corpus(&systems, corpus_size);
+    let target = InProcess::new(scenario.generate().into_store(), 256);
+
+    // Two passes: the first exercises the miss path, the second the
+    // hit path (capacity 256 holds the whole corpus). Both must be
+    // byte-identical to the direct engine render.
+    for pass in 0..2 {
+        for request in &corpus {
+            let expected = target.engine().run(request).to_json().pretty();
+            let outcome = target.call(&[request], None);
+            assert_eq!(outcome.status, 200);
+            assert_eq!(
+                outcome.body,
+                expected,
+                "pack {pack}, pass {pass}, kind {}",
+                request.kind()
+            );
+        }
+    }
+
+    // Batch calls wrap the exact per-query bodies as JSON strings.
+    let batch: Vec<&AnalysisRequest> = corpus.iter().take(5).collect();
+    let expected_bodies: Vec<Json> = batch
+        .iter()
+        .map(|r| Json::Str(target.engine().run(r).to_json().pretty()))
+        .collect();
+    let expected = Json::obj([("results", Json::Arr(expected_bodies))]).pretty();
+    let outcome = target.call(&batch, None);
+    assert_eq!(outcome.body, expected, "pack {pack} batch wrapping");
+}
+
+#[test]
+fn cascading_power_pack_is_byte_identical() {
+    assert_pack_differential("cascading-power", 48);
+}
+
+#[test]
+fn firmware_wave_pack_is_byte_identical() {
+    assert_pack_differential("firmware-wave", 48);
+}
+
+#[test]
+fn network_partition_pack_is_byte_identical() {
+    assert_pack_differential("network-partition", 48);
+}
+
+#[test]
+fn fleet_100k_pack_is_byte_identical() {
+    // The big fleet: generation is the cost, so keep the corpus lean.
+    assert_pack_differential("fleet-100k", 24);
+}

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
-//!                     [--scale 0.1] [--seed 42]
+//!                     [--scale 0.1] [--seed 42] [--scenario NAME|PATH]
 //!                     [--trace DIR [--policy strict|lenient|best-effort]]
 //!                     [--snapshot PATH]
 //!                     [--manifest PATH] [--access-log PATH]
@@ -34,7 +34,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
-                      [--scale 0.1] [--seed 42]
+                      [--scale 0.1] [--seed 42] [--scenario NAME|PATH]
                       [--trace DIR [--policy strict|lenient|best-effort]]
                       [--snapshot PATH]
                       [--manifest PATH] [--access-log PATH]
@@ -75,6 +75,7 @@ struct ServeArgs {
     cache: usize,
     scale: Option<f64>,
     seed: Option<u64>,
+    scenario: Option<String>,
     trace_dir: Option<String>,
     snapshot: Option<String>,
     policy: IngestPolicy,
@@ -105,6 +106,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         cache: 1024,
         scale: None,
         seed: None,
+        scenario: None,
         trace_dir: None,
         snapshot: None,
         policy: IngestPolicy::Strict,
@@ -140,6 +142,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                         .map(|n| parsed.seed = Some(n))
                         .map_err(|_| format!("invalid --seed {v:?}"))
                 }),
+                "--scenario" => take_value("--scenario", &mut iter)
+                    .map(|v| parsed.scenario = Some(v.to_owned())),
                 "--trace" => {
                     take_value("--trace", &mut iter).map(|v| parsed.trace_dir = Some(v.to_owned()))
                 }
@@ -177,6 +181,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         && (parsed.scale.is_some() || parsed.seed.is_some())
     {
         return usage_error("--scale/--seed and --trace/--snapshot are mutually exclusive");
+    }
+    if parsed.scenario.is_some()
+        && (parsed.scale.is_some()
+            || parsed.seed.is_some()
+            || parsed.trace_dir.is_some()
+            || parsed.snapshot.is_some())
+    {
+        return usage_error("--scenario excludes --scale/--seed/--trace/--snapshot");
     }
     let scale = parsed.scale.unwrap_or(0.1);
     let seed = parsed.seed.unwrap_or(42);
@@ -234,12 +246,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             }
         },
         (None, None) => {
-            let spec = if scale >= 1.0 {
-                FleetSpec::lanl()
+            if let Some(name) = &parsed.scenario {
+                // Scenario packs bake in their own seed.
+                match hpcfail_synth::scenario::load(name) {
+                    Ok(scenario) => Engine::new(scenario.generate().into_store()),
+                    Err(err) => {
+                        eprintln!("cannot load scenario {name:?}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             } else {
-                FleetSpec::lanl_scaled(scale)
-            };
-            Engine::new(spec.generate(seed).into_store())
+                let spec = if scale >= 1.0 {
+                    FleetSpec::lanl()
+                } else {
+                    FleetSpec::lanl_scaled(scale)
+                };
+                Engine::new(spec.generate(seed).into_store())
+            }
         }
     };
 

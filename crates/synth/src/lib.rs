@@ -50,15 +50,18 @@ pub mod corrupt;
 pub mod events;
 pub mod excitation;
 pub mod neutron;
+pub mod scenario;
 pub mod sim;
 pub mod spec;
 pub mod workload;
 
+pub use scenario::Scenario;
 pub use sim::GeneratedFleet;
 pub use spec::{FleetSpec, SystemSpec};
 
 /// The most frequently used items.
 pub mod prelude {
+    pub use crate::scenario::{Scenario, ScenarioError};
     pub use crate::sim::GeneratedFleet;
     pub use crate::spec::{FleetSpec, SystemSpec};
 }

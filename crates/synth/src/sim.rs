@@ -294,6 +294,26 @@ fn simulate_system<R: Rng + ?Sized>(
             };
             let common = state.frailty * usage_mult;
 
+            // Scenario episodes: scripted per-channel elevations over a
+            // day window and node range. With no episodes every factor
+            // is exactly 1.0 (an exact f64 identity), so baseline
+            // fleets keep byte-identical traces and consume no extra
+            // randomness.
+            let mut episode_mult = [1.0f64; 5];
+            for e in &spec.episodes {
+                if e.active(day, node) {
+                    let slot = match e.channel {
+                        RootCause::Hardware => 0,
+                        RootCause::Software => 1,
+                        RootCause::Network => 2,
+                        RootCause::HumanError => 3,
+                        RootCause::Environment => 4,
+                        RootCause::Undetermined => continue,
+                    };
+                    episode_mult[slot] *= e.multiplier;
+                }
+            }
+
             // Excitation contributes an *additive* excess proportional to
             // the group base rate (not the node's multiplied rate):
             // follow-up risk after a failure is a property of the event,
@@ -310,7 +330,7 @@ fn simulate_system<R: Rng + ?Sized>(
 
             let mut hw_rates = [0.0f64; 10];
             let hw_excess = excess(RootCause::Hardware, spec.rates.hardware, caps.hardware);
-            let hw_base = spec.rates.hardware * common * n0(spec.node0.hardware);
+            let hw_base = spec.rates.hardware * common * n0(spec.node0.hardware) * episode_mult[0];
             let mut hw_total = 0.0;
             for (i, (comp, share)) in hw_shares.iter().enumerate() {
                 // CPU faults repeat on themselves (component re-arm)
@@ -329,23 +349,24 @@ fn simulate_system<R: Rng + ?Sized>(
             }
             let mut sw_rates = [0.0f64; 6];
             let sw_excess = excess(RootCause::Software, spec.rates.software, caps.software);
-            let sw_base = spec.rates.software * common * n0(spec.node0.software);
+            let sw_base = spec.rates.software * common * n0(spec.node0.software) * episode_mult[1];
             let mut sw_total = 0.0;
             for (i, (_, share)) in sw_shares.iter().enumerate() {
                 let r = (sw_base * sw_mult[i] + sw_excess) * share;
                 sw_rates[i] = r;
                 sw_total += r;
             }
-            let net_rate = spec.rates.network * common * n0(spec.node0.network)
+            let net_rate = spec.rates.network * common * n0(spec.node0.network) * episode_mult[2]
                 + excess(RootCause::Network, spec.rates.network, caps.network);
-            let human_rate = spec.rates.human * common * n0(spec.node0.human)
+            let human_rate = spec.rates.human * common * n0(spec.node0.human) * episode_mult[3]
                 + excess(RootCause::HumanError, spec.rates.human, caps.human);
-            let env_rate = spec.rates.environment * common * n0(spec.node0.environment)
-                + excess(
-                    RootCause::Environment,
-                    spec.rates.environment,
-                    caps.environment,
-                );
+            let env_rate =
+                spec.rates.environment * common * n0(spec.node0.environment) * episode_mult[4]
+                    + excess(
+                        RootCause::Environment,
+                        spec.rates.environment,
+                        caps.environment,
+                    );
 
             let total = hw_total + sw_total + net_rate + human_rate + env_rate;
             if total <= 0.0 {

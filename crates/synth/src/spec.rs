@@ -235,6 +235,45 @@ impl Default for TemperatureSpec {
     }
 }
 
+/// A scripted hazard elevation over a day window and node range.
+///
+/// Episodes are the data-level hook scenario packs use to express
+/// phenomenology beyond the LANL-calibrated baseline — a firmware
+/// rollout that multiplies the software hazard on the racks it has
+/// reached, a week-long network partition, a facility event wave. The
+/// multiplier applies to the channel's *base* hazard (before excitation
+/// excess), so episodes compose with frailty, node-0 role and events
+/// exactly like the base rates do. A system with no episodes simulates
+/// byte-identically to one generated before episodes existed: the
+/// multipliers stay exactly 1.0 and no randomness is consumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Episode {
+    /// First simulated day the elevation is active (inclusive).
+    pub first_day: u32,
+    /// Last active day (inclusive).
+    pub last_day: u32,
+    /// First affected node id (inclusive).
+    pub first_node: u32,
+    /// Last affected node id (inclusive).
+    pub last_node: u32,
+    /// The root-cause channel whose base hazard is multiplied.
+    /// [`RootCause::Undetermined`] has no hazard channel and is
+    /// rejected by the scenario parser.
+    pub channel: RootCause,
+    /// Multiplier applied while the episode is active.
+    pub multiplier: f64,
+}
+
+impl Episode {
+    /// `true` while this episode elevates `node` on `day`.
+    pub fn active(&self, day: u32, node: u32) -> bool {
+        day >= self.first_day
+            && day <= self.last_day
+            && node >= self.first_node
+            && node <= self.last_node
+    }
+}
+
 /// Generation parameters for one system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemSpec {
@@ -284,6 +323,9 @@ pub struct SystemSpec {
     /// scale — a 46x elevation of their already ~15x-higher component
     /// hazards would leave nodes in a permanently re-arming cascade.
     pub event_peak_scale: f64,
+    /// Scripted hazard elevations (scenario packs). Empty for the
+    /// LANL-calibrated baseline.
+    pub episodes: Vec<Episode>,
 }
 
 impl SystemSpec {
@@ -317,6 +359,7 @@ impl SystemSpec {
             excitation_scale: 1.0,
             excess_caps: ExcessCaps::group1(),
             event_peak_scale: 1.0,
+            episodes: Vec::new(),
         }
     }
 

@@ -1,0 +1,240 @@
+//! Satellite guarantee: scenario packs are well-behaved data.
+//!
+//! Every builtin pack must parse, re-serialize canonically (the
+//! canonical form is a fixpoint, so a pack can be normalized once and
+//! committed), and generate a non-trivial trace whose episodes are
+//! visible in the failure record. Malformed documents — unknown keys,
+//! negative rates, zero nodes, out-of-range episodes — must come back
+//! as typed [`ScenarioError`]s, never panics.
+
+use hpcfail_synth::scenario::{self, Scenario, ScenarioError};
+use hpcfail_types::ids::SystemId;
+
+const PACKS: [&str; 4] = [
+    "fleet-100k",
+    "cascading-power",
+    "firmware-wave",
+    "network-partition",
+];
+
+#[test]
+fn builtin_pack_registry_is_complete() {
+    let mut names: Vec<&str> = scenario::builtin_names().collect();
+    names.sort_unstable();
+    let mut expected = PACKS.to_vec();
+    expected.sort_unstable();
+    assert_eq!(names, expected);
+}
+
+#[test]
+fn builtin_packs_round_trip_canonically() {
+    for pack in PACKS {
+        let scenario = scenario::load(pack).expect(pack);
+        assert_eq!(scenario.name, pack);
+        let canonical = scenario.canonical();
+        let reparsed = Scenario::parse(&canonical)
+            .unwrap_or_else(|e| panic!("{pack}: canonical form must parse: {e}"));
+        assert_eq!(reparsed, scenario, "{pack}: parse∘canonical is identity");
+        assert_eq!(
+            reparsed.canonical(),
+            canonical,
+            "{pack}: canonical is a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn packs_load_from_paths_too() {
+    let scenario = scenario::load("crates/synth/packs/firmware-wave.json")
+        .or_else(|_| scenario::load("packs/firmware-wave.json"))
+        .expect("pack loads from its file path");
+    assert_eq!(scenario.name, "firmware-wave");
+    assert_eq!(
+        scenario,
+        scenario::load("firmware-wave").expect("builtin loads")
+    );
+    assert!(matches!(
+        scenario::load("no-such-pack-or-file"),
+        Err(ScenarioError::Io { .. })
+    ));
+}
+
+#[test]
+fn episodes_shape_the_generated_hazard() {
+    // 40x network hazard on the first half of the nodes for one week
+    // must concentrate network failures there; the same spec without
+    // episodes stays roughly balanced.
+    let base = r#"{
+        "scenario": "episode-probe",
+        "version": 1,
+        "seed": 404,
+        "systems": [
+            {"id": 7, "template": "smp", "nodes": 64, "days": 365EPISODES}
+        ]
+    }"#;
+    let with_episodes = base.replace(
+        "EPISODES",
+        r#",
+            "episodes": [
+                {"days": [100, 140], "nodes": [0, 31],
+                 "channel": "network", "multiplier": 40}
+            ]"#,
+    );
+    let without_episodes = base.replace("EPISODES", "");
+
+    let count_network_by_half = |text: &str| {
+        let trace = Scenario::parse(text)
+            .expect("probe parses")
+            .generate()
+            .into_store();
+        let system = trace.system(SystemId::new(7)).expect("system 7");
+        let mut lower = 0u64;
+        let mut upper = 0u64;
+        for failure in system.failures() {
+            if failure.root_cause == hpcfail_types::failure::RootCause::Network {
+                if failure.node.raw() < 32 {
+                    lower += 1;
+                } else {
+                    upper += 1;
+                }
+            }
+        }
+        (lower, upper)
+    };
+
+    let (lower_with, upper_with) = count_network_by_half(&with_episodes);
+    let (lower_without, upper_without) = count_network_by_half(&without_episodes);
+    assert!(
+        lower_with > upper_with * 2,
+        "episode must skew network failures to nodes 0-31: {lower_with} vs {upper_with}"
+    );
+    assert!(
+        lower_with > lower_without * 2,
+        "episode must add failures over the baseline: {lower_with} vs {lower_without}"
+    );
+    // And the untouched half stays at baseline scale.
+    assert!(
+        upper_with < lower_without.max(upper_without) * 3 + 30,
+        "untouched nodes must stay near baseline: {upper_with}"
+    );
+}
+
+fn parse_err(text: &str) -> ScenarioError {
+    Scenario::parse(text).expect_err("document must be rejected")
+}
+
+fn probe(system_fields: &str) -> String {
+    format!(
+        r#"{{"scenario": "probe", "version": 1, "seed": 1,
+            "systems": [{{"id": 3, "template": "smp", "nodes": 8, "days": 30{system_fields}}}]}}"#
+    )
+}
+
+#[test]
+fn rejection_battery_returns_typed_errors() {
+    // Malformed JSON.
+    assert!(matches!(parse_err("{"), ScenarioError::Json(_)));
+    assert!(matches!(parse_err("[1, 2]"), ScenarioError::Schema { .. }));
+
+    // Unknown keys, at every level, with a path.
+    match parse_err(
+        r#"{"scenario": "x", "version": 1, "seed": 1, "extra": 1,
+            "systems": [{"id": 1, "template": "smp", "nodes": 1, "days": 1}]}"#,
+    ) {
+        ScenarioError::UnknownKey { path, key } => {
+            assert_eq!(path, "scenario");
+            assert_eq!(key, "extra");
+        }
+        other => panic!("expected UnknownKey, got {other}"),
+    }
+    match parse_err(&probe(r#", "turbo": true"#)) {
+        ScenarioError::UnknownKey { path, key } => {
+            assert_eq!(path, "systems[0]");
+            assert_eq!(key, "turbo");
+        }
+        other => panic!("expected UnknownKey, got {other}"),
+    }
+    match parse_err(&probe(
+        r#", "episodes": [{"days": [1, 2], "nodes": [0, 1],
+            "channel": "hardware", "multiplier": 2, "color": "red"}]"#,
+    )) {
+        ScenarioError::UnknownKey { path, key } => {
+            assert_eq!(path, "systems[0].episodes[0]");
+            assert_eq!(key, "color");
+        }
+        other => panic!("expected UnknownKey, got {other}"),
+    }
+
+    // Version and structure.
+    assert!(matches!(
+        parse_err(r#"{"scenario": "x", "version": 2, "seed": 1, "systems": []}"#),
+        ScenarioError::Schema { .. }
+    ));
+    assert!(matches!(
+        parse_err(r#"{"scenario": "x", "version": 1, "seed": 1, "systems": []}"#),
+        ScenarioError::Schema { .. }
+    ));
+
+    // Out-of-range values: each must be a Schema error naming a path.
+    let bad_fields = [
+        r#", "rates": {"hardware": -0.5}"#,           // negative rate
+        r#", "rates": {"hardware": 1e400}"#,          // non-finite rate
+        r#", "undetermined_fraction": 1.5"#,          // fraction > 1
+        r#", "frailty_shape": 0"#,                    // non-positive shape
+        r#", "excitation_scale": -1"#,                // negative scale
+        r#", "events": {"chiller": -0.1}"#,           // negative event rate
+        r#", "workload": {"users": 0}"#,              // zero users
+        r#", "temperature": {"samples_per_day": 0}"#, // zero samples
+        // episode day range beyond the observation span
+        r#", "episodes": [{"days": [40, 50], "nodes": [0, 1],
+             "channel": "hardware", "multiplier": 2}]"#,
+        // episode node range beyond the system
+        r#", "episodes": [{"days": [1, 2], "nodes": [0, 64],
+             "channel": "hardware", "multiplier": 2}]"#,
+        // zero multiplier
+        r#", "episodes": [{"days": [1, 2], "nodes": [0, 1],
+             "channel": "hardware", "multiplier": 0}]"#,
+        // unknown channel
+        r#", "episodes": [{"days": [1, 2], "nodes": [0, 1],
+             "channel": "gremlins", "multiplier": 2}]"#,
+    ];
+    for fields in bad_fields {
+        match parse_err(&probe(fields)) {
+            ScenarioError::Schema { path, .. } => {
+                assert!(
+                    path.starts_with("systems[0]"),
+                    "path {path:?} for {fields:?}"
+                );
+            }
+            other => panic!("expected Schema error for {fields:?}, got {other}"),
+        }
+    }
+
+    // Zero nodes / zero days / duplicate ids at the system level.
+    assert!(matches!(
+        parse_err(
+            r#"{"scenario": "x", "version": 1, "seed": 1,
+                "systems": [{"id": 1, "template": "smp", "nodes": 0, "days": 1}]}"#
+        ),
+        ScenarioError::Schema { .. }
+    ));
+    assert!(matches!(
+        parse_err(
+            r#"{"scenario": "x", "version": 1, "seed": 1,
+                "systems": [{"id": 1, "template": "smp", "nodes": 1, "days": 0}]}"#
+        ),
+        ScenarioError::Schema { .. }
+    ));
+    assert!(matches!(
+        parse_err(
+            r#"{"scenario": "x", "version": 1, "seed": 1, "systems": [
+                {"id": 1, "template": "smp", "nodes": 1, "days": 1},
+                {"id": 1, "template": "numa", "nodes": 1, "days": 1}]}"#
+        ),
+        ScenarioError::Schema { .. }
+    ));
+    assert!(matches!(
+        parse_err(&probe("").replace("\"smp\"", "\"mainframe\"")),
+        ScenarioError::Schema { .. }
+    ));
+}
