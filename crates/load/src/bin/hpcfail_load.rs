@@ -5,10 +5,18 @@
 //! hpcfail-load run [--profile ci] [--addr HOST:PORT | --in-process]
 //!                  [--scale 0.05] [--seed 42 | --scenario NAME|PATH]
 //!                  [--threads 4] [--cache 1024] [--out PATH]
+//!                  [--retries N] [--retry-base-ms MS] [--retry-seed S]
 //!                  [--shutdown] [--quiet]
 //! hpcfail-load check PATH
 //! hpcfail-load profiles
 //! ```
+//!
+//! `--retries N` makes the HTTP target retry shed answers (429/503)
+//! and transport failures up to N times per item, with seeded jittered
+//! exponential backoff honoring the server's `Retry-After` hints; the
+//! report's `sheds` / `retries` / `gave_up` counts come from this
+//! path. Retry flags are rejected with `--in-process` (nothing to
+//! retry against).
 //!
 //! `run` plans the profile's request sequence from its seed, executes
 //! it against the target (a live server via `--addr`, or an engine
@@ -27,12 +35,14 @@ use hpcfail_load::{
     build_corpus, execute, plan, systems_from_fleet, BenchReport, Budget, Http, InProcess,
     MixConfig, RunOptions, Target,
 };
+use hpcfail_serve::RetryPolicy;
 use hpcfail_synth::FleetSpec;
 
 const USAGE: &str = "usage:
   hpcfail-load run [--profile ci] [--addr HOST:PORT | --in-process]
                    [--scale 0.05] [--seed 42 | --scenario NAME|PATH]
                    [--threads 4] [--cache 1024] [--out PATH]
+                   [--retries N] [--retry-base-ms MS] [--retry-seed S]
                    [--shutdown] [--quiet]
   hpcfail-load check PATH
   hpcfail-load profiles";
@@ -81,6 +91,9 @@ struct RunArgs {
     threads: usize,
     cache: usize,
     out: String,
+    retries: Option<u32>,
+    retry_base_ms: Option<u64>,
+    retry_seed: Option<u64>,
     shutdown: bool,
     quiet: bool,
 }
@@ -96,6 +109,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
         threads: 4,
         cache: 1024,
         out: "BENCH_serve.json".to_owned(),
+        retries: None,
+        retry_base_ms: None,
+        retry_seed: None,
         shutdown: false,
         quiet: false,
     };
@@ -134,6 +150,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     .map_err(|_| format!("invalid --cache {v:?}"))
             }),
             "--out" => take_value("--out", &mut iter).map(|v| parsed.out = v.to_owned()),
+            "--retries" => take_value("--retries", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| parsed.retries = Some(n))
+                    .map_err(|_| format!("invalid --retries {v:?}"))
+            }),
+            "--retry-base-ms" => take_value("--retry-base-ms", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| parsed.retry_base_ms = Some(n))
+                    .map_err(|_| format!("invalid --retry-base-ms {v:?}"))
+            }),
+            "--retry-seed" => take_value("--retry-seed", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| parsed.retry_seed = Some(n))
+                    .map_err(|_| format!("invalid --retry-seed {v:?}"))
+            }),
             "--shutdown" => {
                 parsed.shutdown = true;
                 Ok(())
@@ -150,6 +181,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     if parsed.in_process == parsed.addr.is_some() {
         return usage_error("pick exactly one target: --addr HOST:PORT or --in-process");
+    }
+    let retry_flags =
+        parsed.retries.is_some() || parsed.retry_base_ms.is_some() || parsed.retry_seed.is_some();
+    if retry_flags && parsed.in_process {
+        return usage_error("retry flags need an HTTP target (--addr)");
     }
     if parsed.threads == 0 {
         return usage_error("--threads must be positive");
@@ -208,7 +244,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 
     let target: Box<dyn Target> = if let Some(addr) = &parsed.addr {
-        Box::new(Http::new(addr))
+        if retry_flags {
+            let default = RetryPolicy::default();
+            let policy = RetryPolicy {
+                // `--retries N` allows N retries: N + 1 total attempts.
+                max_attempts: parsed
+                    .retries
+                    .map_or(default.max_attempts, |n| n.saturating_add(1)),
+                base_delay_ms: parsed.retry_base_ms.unwrap_or(default.base_delay_ms),
+                seed: parsed.retry_seed.unwrap_or(default.seed),
+                ..default
+            };
+            Box::new(Http::with_retry(addr, policy))
+        } else {
+            Box::new(Http::new(addr))
+        }
     } else {
         if !parsed.quiet {
             eprintln!("generating trace ({corpus_label})...");
@@ -244,7 +294,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     if !parsed.quiet {
         eprintln!(
-            "{}: {} queries in {} ms ({:.0} qps), p50 {} us, p99 {} us, hit rate {:.2}, {} errors, {} timeouts",
+            "{}: {} queries in {} ms ({:.0} qps), p50 {} us, p99 {} us, hit rate {:.2}, {} errors, {} timeouts, {} sheds / {} retries / {} gave up",
             parsed.out,
             report.queries,
             report.wall_ms,
@@ -254,6 +304,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             report.hit_rate,
             report.errors,
             report.timeouts,
+            report.sheds,
+            report.retries,
+            report.gave_up,
         );
     }
 

@@ -21,8 +21,10 @@ use hpcfail_obs::json::{self, Json};
 use crate::mix::MixConfig;
 use crate::run::{quantile_us, RunStats};
 
-/// Schema version of `BENCH_serve.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version of `BENCH_serve.json`. Version 2 added the
+/// shed/retried/gave-up accounting (per phase and top-level) and the
+/// `max_gave_up_fraction` budget line.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Latency quantiles, microseconds, nearest-rank over per-item wall
 /// times.
@@ -71,6 +73,12 @@ pub struct PhaseReport {
     pub errors: u64,
     /// Timeouts.
     pub timeouts: u64,
+    /// Shed answers (429/503) observed, retried ones included.
+    pub sheds: u64,
+    /// Retries performed beyond first attempts.
+    pub retries: u64,
+    /// Items that gave up retrying without a non-shed answer.
+    pub gave_up: u64,
     /// Cache hits.
     pub hits: u64,
     /// Cache misses.
@@ -96,6 +104,9 @@ pub struct Budget {
     pub max_error_fraction: f64,
     /// Ceiling on timeouts as a fraction of items.
     pub max_timeout_fraction: f64,
+    /// Ceiling on gave-up items as a fraction of items (0 = the
+    /// retrying client must recover every shed answer).
+    pub max_gave_up_fraction: f64,
 }
 
 impl Budget {
@@ -108,6 +119,7 @@ impl Budget {
             min_hit_rate: 0.2,
             max_error_fraction: 0.0,
             max_timeout_fraction: 0.02,
+            max_gave_up_fraction: 0.0,
         }
     }
 
@@ -119,6 +131,7 @@ impl Budget {
             ("min_hit_rate", Json::Num(self.min_hit_rate)),
             ("max_error_fraction", Json::Num(self.max_error_fraction)),
             ("max_timeout_fraction", Json::Num(self.max_timeout_fraction)),
+            ("max_gave_up_fraction", Json::Num(self.max_gave_up_fraction)),
         ])
     }
 }
@@ -147,6 +160,12 @@ pub struct BenchReport {
     pub errors: u64,
     /// Timeouts.
     pub timeouts: u64,
+    /// Shed answers (429/503) observed, retried ones included.
+    pub sheds: u64,
+    /// Retries performed beyond first attempts.
+    pub retries: u64,
+    /// Items that gave up retrying without a non-shed answer.
+    pub gave_up: u64,
     /// Wall-clock, milliseconds.
     pub wall_ms: u64,
     /// Queries per second over the wall clock.
@@ -215,6 +234,9 @@ impl BenchReport {
                     queries: p.queries,
                     errors: p.errors,
                     timeouts: p.timeouts,
+                    sheds: p.sheds,
+                    retries: p.retries,
+                    gave_up: p.gave_up,
                     hits: p.hits,
                     misses: p.misses,
                     coalesced: p.coalesced,
@@ -233,6 +255,9 @@ impl BenchReport {
             queries: stats.queries(),
             errors: stats.errors(),
             timeouts: stats.timeouts(),
+            sheds: stats.sheds(),
+            retries: stats.retries(),
+            gave_up: stats.gave_up(),
             wall_ms,
             throughput_qps: stats.queries() as f64 / (wall_ms as f64 / 1000.0),
             latency: Quantiles::of(&sorted),
@@ -264,6 +289,9 @@ impl BenchReport {
                         ("queries", Json::Num(p.queries as f64)),
                         ("errors", Json::Num(p.errors as f64)),
                         ("timeouts", Json::Num(p.timeouts as f64)),
+                        ("sheds", Json::Num(p.sheds as f64)),
+                        ("retries", Json::Num(p.retries as f64)),
+                        ("gave_up", Json::Num(p.gave_up as f64)),
                         ("hits", Json::Num(p.hits as f64)),
                         ("misses", Json::Num(p.misses as f64)),
                         ("coalesced", Json::Num(p.coalesced as f64)),
@@ -283,6 +311,9 @@ impl BenchReport {
             ("queries", Json::Num(self.queries as f64)),
             ("errors", Json::Num(self.errors as f64)),
             ("timeouts", Json::Num(self.timeouts as f64)),
+            ("sheds", Json::Num(self.sheds as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("gave_up", Json::Num(self.gave_up as f64)),
             ("wall_ms", Json::Num(self.wall_ms as f64)),
             ("throughput_qps", Json::Num(self.throughput_qps)),
             ("latency", self.latency.to_json()),
@@ -316,7 +347,7 @@ impl BenchReport {
         let Json::Obj(map) = &json else {
             return Err(ReportError::Schema("top level must be an object".into()));
         };
-        const TOP_KEYS: [&str; 20] = [
+        const TOP_KEYS: [&str; 23] = [
             "schema",
             "profile",
             "seed",
@@ -327,6 +358,9 @@ impl BenchReport {
             "queries",
             "errors",
             "timeouts",
+            "sheds",
+            "retries",
+            "gave_up",
             "wall_ms",
             "throughput_qps",
             "latency",
@@ -382,6 +416,12 @@ impl BenchReport {
                     .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
                 timeouts: get_u64(phase, "timeouts")
                     .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                sheds: get_u64(phase, "sheds")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                retries: get_u64(phase, "retries")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
+                gave_up: get_u64(phase, "gave_up")
+                    .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
                 hits: get_u64(phase, "hits")
                     .map_err(|e| ReportError::Schema(format!("{context}: {e}")))?,
                 misses: get_u64(phase, "misses")
@@ -406,6 +446,9 @@ impl BenchReport {
             queries: get_u64(&json, "queries")?,
             errors: get_u64(&json, "errors")?,
             timeouts: get_u64(&json, "timeouts")?,
+            sheds: get_u64(&json, "sheds")?,
+            retries: get_u64(&json, "retries")?,
+            gave_up: get_u64(&json, "gave_up")?,
             wall_ms: get_u64(&json, "wall_ms")?,
             throughput_qps: get_f64(&json, "throughput_qps")?,
             latency: parse_quantiles(
@@ -466,6 +509,12 @@ impl BenchReport {
                 self.timeouts, budget.max_timeout_fraction
             ));
         }
+        if self.gave_up as f64 / items > budget.max_gave_up_fraction {
+            violations.push(format!(
+                "{} gave-up items exceed budgeted fraction {:.3}",
+                self.gave_up, budget.max_gave_up_fraction
+            ));
+        }
         violations
     }
 }
@@ -518,6 +567,7 @@ fn parse_budget(json: &Json) -> Result<Budget, ReportError> {
             "min_hit_rate",
             "max_error_fraction",
             "max_timeout_fraction",
+            "max_gave_up_fraction",
         ]
         .contains(&key.as_str())
         {
@@ -531,6 +581,7 @@ fn parse_budget(json: &Json) -> Result<Budget, ReportError> {
         min_hit_rate: get_f64(json, "min_hit_rate")?,
         max_error_fraction: get_f64(json, "max_error_fraction")?,
         max_timeout_fraction: get_f64(json, "max_timeout_fraction")?,
+        max_gave_up_fraction: get_f64(json, "max_gave_up_fraction")?,
     })
 }
 
@@ -550,6 +601,9 @@ mod tests {
             queries: 768,
             errors: 0,
             timeouts: 0,
+            sheds: 5,
+            retries: 5,
+            gave_up: 0,
             wall_ms: 1234,
             throughput_qps: 622.4,
             latency: Quantiles {
@@ -569,6 +623,9 @@ mod tests {
                 queries: 256,
                 errors: 0,
                 timeouts: 0,
+                sheds: 5,
+                retries: 5,
+                gave_up: 0,
                 hits: 230,
                 misses: 26,
                 coalesced: 0,
@@ -590,7 +647,7 @@ mod tests {
     #[test]
     fn parse_rejects_drift() {
         let report = sample();
-        let text = report.pretty().replace("\"schema\": 1", "\"schema\": 99");
+        let text = report.pretty().replace("\"schema\": 2", "\"schema\": 99");
         assert!(matches!(
             BenchReport::parse(&text),
             Err(ReportError::Schema(_))
@@ -615,7 +672,8 @@ mod tests {
         report.latency.p50_us = 10_000_000;
         report.errors = 3;
         report.hit_rate = 0.01;
+        report.gave_up = 2;
         let violations = report.check();
-        assert_eq!(violations.len(), 3);
+        assert_eq!(violations.len(), 4);
     }
 }

@@ -39,10 +39,17 @@ pub struct PhaseStats {
     pub items: u64,
     /// Queries issued (batches counted per query).
     pub queries: u64,
-    /// Non-2xx, non-timeout responses plus transport errors.
+    /// Non-2xx, non-timeout responses plus transport errors (items
+    /// that gave up retrying are counted under `gave_up` instead).
     pub errors: u64,
     /// Deadline expiries (HTTP 504).
     pub timeouts: u64,
+    /// Shed answers (429/503) observed, retried ones included.
+    pub sheds: u64,
+    /// Retries performed beyond first attempts.
+    pub retries: u64,
+    /// Items whose retries were exhausted without a non-shed answer.
+    pub gave_up: u64,
     /// Cache hits.
     pub hits: u64,
     /// Cache misses.
@@ -61,6 +68,9 @@ impl PhaseStats {
         self.queries += other.queries;
         self.errors += other.errors;
         self.timeouts += other.timeouts;
+        self.sheds += other.sheds;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
         self.hits += other.hits;
         self.misses += other.misses;
         self.coalesced += other.coalesced;
@@ -99,6 +109,21 @@ impl RunStats {
     /// Total timeouts.
     pub fn timeouts(&self) -> u64 {
         self.phases.iter().map(|p| p.timeouts).sum()
+    }
+
+    /// Total shed answers observed (retried ones included).
+    pub fn sheds(&self) -> u64 {
+        self.phases.iter().map(|p| p.sheds).sum()
+    }
+
+    /// Total retries performed.
+    pub fn retries(&self) -> u64 {
+        self.phases.iter().map(|p| p.retries).sum()
+    }
+
+    /// Total items that gave up retrying.
+    pub fn gave_up(&self) -> u64 {
+        self.phases.iter().map(|p| p.gave_up).sum()
     }
 
     /// Totals of (hits, misses, coalesced).
@@ -197,8 +222,12 @@ pub fn execute(
             stats.coalesced += outcome.coalesced;
             stats.unknown += outcome.unknown;
             stats.latencies_us.push(latency_us);
+            stats.sheds += outcome.sheds;
+            stats.retries += outcome.retries;
             if outcome.timeout {
                 stats.timeouts += 1;
+            } else if outcome.gave_up {
+                stats.gave_up += 1;
             } else if outcome.error.is_some() || !(200..300).contains(&outcome.status) {
                 stats.errors += 1;
                 error_counter.add(1);

@@ -14,7 +14,7 @@ use std::time::Duration;
 use hpcfail_core::engine::{AnalysisRequest, Engine};
 use hpcfail_obs::json::Json;
 use hpcfail_serve::cache::{CacheKey, ResultCache};
-use hpcfail_serve::Client;
+use hpcfail_serve::{Client, RetryPolicy, RetryingClient};
 use hpcfail_store::trace::Trace;
 
 /// What one call produced, as the harness saw it.
@@ -33,6 +33,14 @@ pub struct CallOutcome {
     pub unknown: u64,
     /// The call hit its deadline (HTTP 504).
     pub timeout: bool,
+    /// Shed answers (429/503) observed across every attempt,
+    /// including ones a later retry recovered from.
+    pub sheds: u64,
+    /// Retries performed beyond the first attempt.
+    pub retries: u64,
+    /// Retries were exhausted while the last answer was still a shed
+    /// or transport failure.
+    pub gave_up: bool,
     /// Transport-level failure, if any.
     pub error: Option<String>,
     /// The response body.
@@ -48,6 +56,9 @@ impl CallOutcome {
             coalesced: 0,
             unknown: 0,
             timeout: false,
+            sheds: 0,
+            retries: 0,
+            gave_up: false,
             error: Some(message),
             body: String::new(),
         }
@@ -121,6 +132,9 @@ impl Target for InProcess {
                 coalesced: 0,
                 unknown: 0,
                 timeout: false,
+                sheds: 0,
+                retries: 0,
+                gave_up: false,
                 error: None,
                 body: (*body).clone(),
             };
@@ -144,6 +158,9 @@ impl Target for InProcess {
             coalesced: 0,
             unknown: 0,
             timeout: false,
+            sheds: 0,
+            retries: 0,
+            gave_up: false,
             error: None,
             body: Json::obj([("results", Json::Arr(bodies))]).pretty(),
         }
@@ -154,21 +171,32 @@ impl Target for InProcess {
     }
 }
 
-/// HTTP target: a live `hpcfail-serve` instance.
+/// HTTP target: a live `hpcfail-serve` instance, reached through a
+/// [`RetryingClient`] so shed answers (429/503) and transport blips
+/// are retried under the target's [`RetryPolicy`]. The default policy
+/// is [`RetryPolicy::none`], which preserves single-attempt semantics.
 pub struct Http {
-    client: Client,
+    client: RetryingClient,
 }
 
 impl Http {
-    /// A target for the server at `addr` (`host:port`).
+    /// A single-attempt target for the server at `addr` (`host:port`).
     pub fn new(addr: &str) -> Self {
+        Http::with_retry(addr, RetryPolicy::none())
+    }
+
+    /// A target that retries sheds and transport failures per `policy`.
+    pub fn with_retry(addr: &str, policy: RetryPolicy) -> Self {
         Http {
-            client: Client::new(addr).with_timeout(Duration::from_secs(60)),
+            client: RetryingClient::new(
+                Client::new(addr).with_timeout(Duration::from_secs(60)),
+                policy,
+            ),
         }
     }
 
-    /// The underlying client (for `/shutdown` etc.).
-    pub fn client(&self) -> &Client {
+    /// The underlying retrying client (for `/shutdown` etc.).
+    pub fn client(&self) -> &RetryingClient {
         &self.client
     }
 }
@@ -186,9 +214,17 @@ impl Target for Http {
             let items: Vec<Json> = requests.iter().map(|r| r.to_json()).collect();
             ("/batch", Json::Arr(items).pretty())
         };
-        let response = match self.client.post(path, &body, &headers) {
+        let detailed = self.client.post_detailed(path, &body, &headers);
+        let retries = u64::from(detailed.attempts.saturating_sub(1));
+        let response = match detailed.result {
             Ok(response) => response,
-            Err(err) => return CallOutcome::transport_error(err.to_string()),
+            Err(err) => {
+                let mut outcome = CallOutcome::transport_error(err.to_string());
+                outcome.sheds = detailed.sheds;
+                outcome.retries = retries;
+                outcome.gave_up = detailed.gave_up;
+                return outcome;
+            }
         };
         let mut outcome = CallOutcome {
             status: response.status,
@@ -197,6 +233,9 @@ impl Target for Http {
             coalesced: 0,
             unknown: 0,
             timeout: response.status == 504,
+            sheds: detailed.sheds,
+            retries,
+            gave_up: detailed.gave_up,
             error: None,
             body: response.body,
         };

@@ -45,6 +45,7 @@
 pub mod json;
 pub mod manifest;
 pub mod registry;
+pub mod rng;
 pub mod sink;
 pub mod span;
 pub mod trace;

@@ -1,0 +1,106 @@
+//! A tiny deterministic RNG shared by the serving-layer features that
+//! must be reproducible: retry jitter, chaos-injection decisions and
+//! trace ids.
+//!
+//! Two entry points:
+//!
+//! * [`mix64`] — the stateless SplitMix64 finalizer. Hashing a small
+//!   tuple of integers through repeated `mix64(state ^ input)` rounds
+//!   yields a well-mixed 64-bit value that depends only on the inputs,
+//!   never on thread interleaving — which is exactly what deterministic
+//!   chaos schedules need ("does the Nth arrival at point P fault?").
+//! * [`SplitMix64`] — a sequential stream over the same mixer, for
+//!   call sites that want successive draws from one seed (retry
+//!   jitter).
+//!
+//! This module is always compiled (`no-obs` included): determinism
+//! machinery is not telemetry and must never change behavior between
+//! builds.
+
+/// The SplitMix64 finalizer: a stateless, bijective 64-bit mixer.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`; equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next draw as a fraction in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits, the standard uniform-double construction.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The fraction in `[0, 1)` that `value` hashes to (one `mix64` round).
+#[must_use]
+pub fn fraction(value: u64) -> f64 {
+    (mix64(value) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut c = SplitMix64::new(8);
+        let draws_a: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let draws_b: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let draws_c: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn fractions_land_in_the_unit_interval() {
+        let mut rng = SplitMix64::new(2026);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+        for v in [0, 1, u64::MAX, 0xdead_beef] {
+            let f = fraction(v);
+            assert!((0.0..1.0).contains(&f), "{f}");
+        }
+    }
+
+    #[test]
+    fn mix64_is_well_spread_over_small_inputs() {
+        // Sequential inputs must not produce correlated fractions: a
+        // coarse uniformity check over 4 bins.
+        let mut bins = [0u32; 4];
+        for n in 0..4000u64 {
+            let f = fraction(n);
+            bins[(f * 4.0) as usize] += 1;
+        }
+        for (i, count) in bins.iter().enumerate() {
+            assert!((800..1200).contains(count), "bin {i} holds {count} of 4000");
+        }
+    }
+}

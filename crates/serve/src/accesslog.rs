@@ -45,6 +45,9 @@ pub struct AccessEntry {
     pub deadline_ms: u64,
     /// Response body size, bytes.
     pub bytes_out: u64,
+    /// The shed reason (`queue_full`, `brownout`, ...) when admission
+    /// rejected the request; `-` otherwise.
+    pub shed: String,
 }
 
 impl AccessEntry {
@@ -58,6 +61,7 @@ impl AccessEntry {
             ("latency_us", Json::Num(self.latency_us as f64)),
             ("method", Json::Str(self.method.clone())),
             ("path", Json::Str(self.path.clone())),
+            ("shed", Json::Str(self.shed.clone())),
             ("status", Json::Num(f64::from(self.status))),
             ("trace_id", Json::Str(self.trace_id.clone())),
         ])
@@ -153,6 +157,7 @@ mod tests {
             cache: "miss".to_owned(),
             deadline_ms: 10_000,
             bytes_out,
+            shed: "-".to_owned(),
         }
     }
 

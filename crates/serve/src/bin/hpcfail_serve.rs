@@ -8,9 +8,12 @@
 //!                     [--trace DIR [--policy strict|lenient|best-effort]]
 //!                     [--snapshot PATH]
 //!                     [--manifest PATH] [--access-log PATH]
-//!                     [--slo-latency-ms N] [--slo-error-rate F]
+//!                     [--slo-latency-ms N] [--slo-error-rate F] [--slo-window-ms N]
+//!                     [--max-inflight N] [--max-queued N] [--shed-policy reject|brownout]
+//!                     [--read-timeout-ms N] [--chaos PATH]
 //!                     [--inject-panic KIND] [--quiet]
-//! hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace] JSON|-
+//! hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace]
+//!                     [--retries N] [--retry-base-ms N] [--retry-seed N] JSON|-
 //! hpcfail-serve top --addr HOST:PORT [--interval-ms 1000] [--frames N]
 //! hpcfail-serve check-metrics (--addr HOST:PORT | --file PATH) [--require SERIES]...
 //! hpcfail-serve requests
@@ -21,7 +24,10 @@
 use hpcfail_core::engine::{AnalysisRequest, Engine, REQUEST_KINDS};
 use hpcfail_obs::manifest::{git_describe, ManifestSink};
 use hpcfail_obs::sink::Sink;
+use hpcfail_serve::admission::{AdmissionConfig, ShedPolicy};
+use hpcfail_serve::chaos::ChaosConfig;
 use hpcfail_serve::client::Client;
+use hpcfail_serve::retry::{RetryPolicy, RetryingClient};
 use hpcfail_serve::server::{spawn, ServerConfig};
 use hpcfail_serve::slo::SloPolicy;
 use hpcfail_serve::{promtext, top};
@@ -38,9 +44,12 @@ const USAGE: &str = "usage:
                       [--trace DIR [--policy strict|lenient|best-effort]]
                       [--snapshot PATH]
                       [--manifest PATH] [--access-log PATH]
-                      [--slo-latency-ms N] [--slo-error-rate F]
+                      [--slo-latency-ms N] [--slo-error-rate F] [--slo-window-ms N]
+                      [--max-inflight N] [--max-queued N] [--shed-policy reject|brownout]
+                      [--read-timeout-ms N] [--chaos PATH]
                       [--inject-panic KIND] [--quiet]
-  hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace] JSON|-
+  hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace]
+                      [--retries N] [--retry-base-ms N] [--retry-seed N] JSON|-
   hpcfail-serve top --addr HOST:PORT [--interval-ms 1000] [--frames N]
   hpcfail-serve check-metrics (--addr HOST:PORT | --file PATH) [--require SERIES]...
   hpcfail-serve requests";
@@ -83,6 +92,12 @@ struct ServeArgs {
     access_log: Option<String>,
     slo_latency_ms: Option<u64>,
     slo_error_rate: Option<f64>,
+    slo_window_ms: Option<u64>,
+    max_inflight: Option<usize>,
+    max_queued: Option<usize>,
+    shed_policy: Option<ShedPolicy>,
+    read_timeout_ms: Option<u64>,
+    chaos: Option<String>,
     inject_panic: Option<String>,
     quiet: bool,
 }
@@ -114,6 +129,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         access_log: None,
         slo_latency_ms: None,
         slo_error_rate: None,
+        slo_window_ms: None,
+        max_inflight: None,
+        max_queued: None,
+        shed_policy: None,
+        read_timeout_ms: None,
+        chaos: None,
         inject_panic: None,
         quiet: false,
     };
@@ -165,6 +186,31 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                         .map(|n| parsed.slo_error_rate = Some(n))
                         .map_err(|_| format!("invalid --slo-error-rate {v:?}"))
                 }),
+                "--slo-window-ms" => take_value("--slo-window-ms", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n: u64| parsed.slo_window_ms = Some(n.max(30)))
+                        .map_err(|_| format!("invalid --slo-window-ms {v:?}"))
+                }),
+                "--max-inflight" => take_value("--max-inflight", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.max_inflight = Some(n))
+                        .map_err(|_| format!("invalid --max-inflight {v:?}"))
+                }),
+                "--max-queued" => take_value("--max-queued", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n| parsed.max_queued = Some(n))
+                        .map_err(|_| format!("invalid --max-queued {v:?}"))
+                }),
+                "--shed-policy" => take_value("--shed-policy", &mut iter)
+                    .and_then(|v| v.parse().map(|p| parsed.shed_policy = Some(p))),
+                "--read-timeout-ms" => take_value("--read-timeout-ms", &mut iter).and_then(|v| {
+                    v.parse()
+                        .map(|n: u64| parsed.read_timeout_ms = Some(n.max(1)))
+                        .map_err(|_| format!("invalid --read-timeout-ms {v:?}"))
+                }),
+                "--chaos" => {
+                    take_value("--chaos", &mut iter).map(|v| parsed.chaos = Some(v.to_owned()))
+                }
                 "--inject-panic" => take_value("--inject-panic", &mut iter)
                     .map(|v| parsed.inject_panic = Some(v.to_owned())),
                 "--quiet" => {
@@ -266,19 +312,55 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     };
 
+    let chaos = match &parsed.chaos {
+        Some(path) => match ChaosConfig::load(path) {
+            Ok(config) => {
+                if !parsed.quiet {
+                    eprintln!(
+                        "chaos: {} rules under seed {} from {path}",
+                        config.rules.len(),
+                        config.seed
+                    );
+                }
+                Some(config)
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     let fingerprint = engine.fingerprint_hex();
     let default_slo = SloPolicy::default();
+    let default_admission = AdmissionConfig::default();
+    let default_config = ServerConfig::default();
     let config = ServerConfig {
         addr: parsed.addr.clone(),
         workers: parsed.workers,
         cache_capacity: parsed.cache,
         access_log: parsed.access_log.as_ref().map(Into::into),
+        read_timeout: parsed
+            .read_timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or(default_config.read_timeout),
         slo: SloPolicy {
             latency_budget_ms: parsed
                 .slo_latency_ms
                 .unwrap_or(default_slo.latency_budget_ms),
             max_error_rate: parsed.slo_error_rate.unwrap_or(default_slo.max_error_rate),
+            window_ms: parsed.slo_window_ms.unwrap_or(default_slo.window_ms),
         },
+        admission: AdmissionConfig {
+            max_inflight: parsed
+                .max_inflight
+                .unwrap_or(default_admission.max_inflight),
+            max_queued: parsed.max_queued.unwrap_or(default_admission.max_queued),
+            policy: parsed.shed_policy.unwrap_or(default_admission.policy),
+            retry_after_ms: default_admission.retry_after_ms,
+        },
+        chaos,
         inject_panic_kind: parsed.inject_panic.clone(),
         ..ServerConfig::default()
     };
@@ -324,6 +406,9 @@ fn cmd_query(args: &[String]) -> ExitCode {
     let mut deadline_ms: Option<u64> = None;
     let mut batch = false;
     let mut trace = false;
+    let mut retries: Option<u32> = None;
+    let mut retry_base_ms: Option<u64> = None;
+    let mut retry_seed: Option<u64> = None;
     let mut payload: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -342,6 +427,21 @@ fn cmd_query(args: &[String]) -> ExitCode {
                 trace = true;
                 Ok(())
             }
+            "--retries" => take_value("--retries", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| retries = Some(n))
+                    .map_err(|_| format!("invalid --retries {v:?}"))
+            }),
+            "--retry-base-ms" => take_value("--retry-base-ms", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| retry_base_ms = Some(n))
+                    .map_err(|_| format!("invalid --retry-base-ms {v:?}"))
+            }),
+            "--retry-seed" => take_value("--retry-seed", &mut iter).and_then(|v| {
+                v.parse()
+                    .map(|n| retry_seed = Some(n))
+                    .map_err(|_| format!("invalid --retry-seed {v:?}"))
+            }),
             other if payload.is_none() && !other.starts_with("--") => {
                 payload = Some(other.to_owned());
                 Ok(())
@@ -377,7 +477,23 @@ fn cmd_query(args: &[String]) -> ExitCode {
         }
     }
 
-    let client = Client::new(addr);
+    let default_policy = RetryPolicy::default();
+    let policy = match retries {
+        // Explicit `--retries 0` means one attempt, no retries.
+        Some(n) => RetryPolicy {
+            max_attempts: n + 1,
+            base_delay_ms: retry_base_ms.unwrap_or(default_policy.base_delay_ms),
+            seed: retry_seed.unwrap_or(default_policy.seed),
+            ..default_policy
+        },
+        None if retry_base_ms.is_some() || retry_seed.is_some() => RetryPolicy {
+            base_delay_ms: retry_base_ms.unwrap_or(default_policy.base_delay_ms),
+            seed: retry_seed.unwrap_or(default_policy.seed),
+            ..default_policy
+        },
+        None => RetryPolicy::none(),
+    };
+    let client = RetryingClient::new(Client::new(addr), policy);
     let mut headers: Vec<(String, String)> = Vec::new();
     if let Some(ms) = deadline_ms {
         headers.push(("x-deadline-ms".to_owned(), ms.to_string()));
@@ -390,7 +506,16 @@ fn cmd_query(args: &[String]) -> ExitCode {
         .map(|(n, v)| (n.as_str(), v.as_str()))
         .collect();
     let path = if batch { "/batch" } else { "/query" };
-    match client.post(path, &body, &header_refs) {
+    let outcome = client.post_detailed(path, &body, &header_refs);
+    if outcome.attempts > 1 {
+        eprintln!(
+            "retries: {} ({} shed answers{})",
+            outcome.attempts - 1,
+            outcome.sheds,
+            if outcome.gave_up { ", gave up" } else { "" }
+        );
+    }
+    match outcome.result {
         Ok(response) => {
             if let Some(cache) = response.header("x-cache") {
                 eprintln!("x-cache: {cache}");

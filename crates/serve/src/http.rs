@@ -50,6 +50,9 @@ pub enum HttpError {
     Malformed(String),
     /// A line, header count or body over the limits; answer 413.
     TooLarge(String),
+    /// The client started a request but stalled past the read
+    /// timeout (slow-loris); answer 408.
+    Timeout(String),
     /// The underlying socket failed; drop the connection.
     Io(io::Error),
 }
@@ -60,6 +63,7 @@ impl HttpError {
         match self {
             HttpError::Malformed(_) => Some((400, "Bad Request")),
             HttpError::TooLarge(_) => Some((413, "Content Too Large")),
+            HttpError::Timeout(_) => Some((408, "Request Timeout")),
             HttpError::Io(_) => None,
         }
     }
@@ -67,10 +71,15 @@ impl HttpError {
     /// Human-readable detail, safe to return to the client.
     pub fn message(&self) -> String {
         match self {
-            HttpError::Malformed(m) | HttpError::TooLarge(m) => m.clone(),
+            HttpError::Malformed(m) | HttpError::TooLarge(m) | HttpError::Timeout(m) => m.clone(),
             HttpError::Io(e) => e.to_string(),
         }
     }
+}
+
+/// `true` for the error kinds a socket read timeout surfaces as.
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
 impl From<io::Error> for HttpError {
@@ -81,13 +90,27 @@ impl From<io::Error> for HttpError {
 
 /// Reads one line up to CRLF (or bare LF), enforcing [`MAX_LINE`].
 /// `Ok(None)` means the peer closed before sending anything.
-fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+///
+/// A read timeout with zero bytes buffered is only benign on the
+/// *first* line of a request (`allow_idle`: an idle keep-alive
+/// connection going quiet); once any byte of a request has arrived, a
+/// stall is a slow client and maps to [`HttpError::Timeout`] so the
+/// server can answer with a typed 408 instead of silently dropping.
+fn read_line(stream: &mut impl BufRead, allow_idle: bool) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
         let n = match stream.read(&mut byte) {
             Ok(n) => n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => {
+                if line.is_empty() && allow_idle {
+                    return Ok(None);
+                }
+                return Err(HttpError::Timeout(
+                    "read timeout mid-request (slow client)".to_owned(),
+                ));
+            }
             Err(e) => return Err(HttpError::Io(e)),
         };
         if n == 0 {
@@ -116,7 +139,7 @@ fn read_line(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
 /// Reads one request. `Ok(None)` means the connection closed cleanly
 /// between requests (normal keep-alive end).
 pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(stream)? else {
+    let Some(request_line) = read_line(stream, true)? else {
         return Ok(None);
     };
     let mut parts = request_line.split(' ');
@@ -136,7 +159,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
 
     let mut headers = Vec::new();
     loop {
-        let line = read_line(stream)?
+        let line = read_line(stream, false)?
             .ok_or_else(|| HttpError::Malformed("connection closed mid-headers".to_owned()))?;
         if line.is_empty() {
             break;
@@ -167,6 +190,9 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
     if content_length > 0 {
         stream.read_exact(&mut body).map_err(|e| match e.kind() {
             io::ErrorKind::UnexpectedEof => HttpError::Malformed("truncated body".to_owned()),
+            kind if is_timeout(kind) => {
+                HttpError::Timeout("read timeout mid-body (slow client)".to_owned())
+            }
             _ => HttpError::Io(e),
         })?;
     }
@@ -254,6 +280,52 @@ mod tests {
         ] {
             let err = parse(bytes).expect_err("must be rejected");
             assert_eq!(err.status().map(|(s, _)| s), Some(400), "{}", err.message());
+        }
+    }
+
+    /// Serves `data`, then times out forever — a slow-loris client.
+    struct Stalling<'a> {
+        data: &'a [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for Stalling<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.data.len() {
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+    }
+
+    fn parse_stalling(data: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(Stalling { data, pos: 0 }))
+    }
+
+    #[test]
+    fn idle_timeout_before_any_byte_is_a_silent_close() {
+        assert!(parse_stalling(b"").expect("benign idle").is_none());
+    }
+
+    #[test]
+    fn stalls_mid_request_map_to_typed_408() {
+        for data in [
+            b"GET /que".as_slice(),
+            b"GET /x HTTP/1.1\r\nhost: x\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort".as_slice(),
+        ] {
+            let err = parse_stalling(data).expect_err("stalled request");
+            assert_eq!(
+                err.status().map(|(s, _)| s),
+                Some(408),
+                "{:?}: {}",
+                data,
+                err.message()
+            );
         }
     }
 

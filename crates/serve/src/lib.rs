@@ -20,6 +20,20 @@
 //!   passes before the leader finishes degrades gracefully to a typed
 //!   `504` instead of blocking a worker.
 //!
+//! Under load the server protects itself instead of falling over:
+//!
+//! * **Admission control** ([`admission`]): a bounded gate in front of
+//!   the worker pool classifies every `/query`/`/batch` by cost
+//!   (cached hit / cold scan / batch) and sheds with *typed* `429`/
+//!   `503` + `Retry-After` when full — brownout mode sheds expensive
+//!   classes first while `/healthz` and `/metrics` stay always-on.
+//! * **Retrying client** ([`retry`]): seeded jittered exponential
+//!   backoff with a retry budget and honor-`Retry-After` semantics,
+//!   used by `hpcfail-serve query` and `hpcfail-load`'s HTTP target.
+//! * **Chaos injection** ([`chaos`]): a seeded `--chaos spec.json`
+//!   injects latency, stalls, typed errors, drops and forced sheds at
+//!   named points, deterministically, so storm recovery is testable.
+//!
 //! Observability is request-scoped and live:
 //!
 //! * Every request runs under a trace; the id comes back in the
@@ -55,16 +69,22 @@
 #![warn(missing_docs)]
 
 pub mod accesslog;
+pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod coalesce;
 pub mod http;
 pub mod metrics;
 pub mod promtext;
+pub mod retry;
 pub mod server;
 pub mod slo;
 pub mod top;
 
+pub use admission::{AdmissionConfig, CostClass, ShedPolicy, ShedReason};
+pub use chaos::{ChaosConfig, ChaosError};
 pub use client::{Client, Response};
+pub use retry::{RetryPolicy, RetryingClient};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use slo::{SloPolicy, SloReport};

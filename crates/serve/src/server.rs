@@ -39,7 +39,9 @@
 //! a worker hostage.
 
 use crate::accesslog::{AccessEntry, AccessLog, DEFAULT_MAX_BYTES};
+use crate::admission::{AdmissionConfig, AdmissionGate, CostClass, ShedReason};
 use crate::cache::{CacheKey, ResultCache};
+use crate::chaos::{ChaosAction, ChaosConfig, ChaosEngine, ChaosPoint};
 use crate::coalesce::{Claim, Coalescer};
 use crate::http::{self, Request};
 use crate::metrics;
@@ -76,6 +78,13 @@ pub struct ServerConfig {
     pub access_log_max_bytes: u64,
     /// The SLO budgets `/healthz` and `/metrics` evaluate against.
     pub slo: SloPolicy,
+    /// The admission gate in front of `/query` and `/batch`
+    /// (`/healthz`, `/metrics`, `/requests` and `/shutdown` never pass
+    /// through it). The default gate is disabled (`max_inflight: 0`).
+    pub admission: AdmissionConfig,
+    /// Fault injection: a seeded chaos spec (`--chaos spec.json`)
+    /// deciding which arrivals fault at which points.
+    pub chaos: Option<ChaosConfig>,
     /// Fault injection: panic inside the handler for this analysis
     /// kind, to exercise the catch-unwind → 500 path (the engine
     /// itself never panics on well-formed requests).
@@ -93,6 +102,8 @@ impl Default for ServerConfig {
             access_log: None,
             access_log_max_bytes: DEFAULT_MAX_BYTES,
             slo: SloPolicy::default(),
+            admission: AdmissionConfig::default(),
+            chaos: None,
             inject_panic_kind: None,
         }
     }
@@ -106,6 +117,8 @@ struct Shared {
     inflight: AtomicU64,
     default_deadline_ms: u64,
     slo: SloTracker,
+    gate: AdmissionGate,
+    chaos: Option<ChaosEngine>,
     access_log: Option<AccessLog>,
     inject_panic_kind: Option<String>,
 }
@@ -140,8 +153,16 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, unblocks the workers and joins them.
+    /// The admission gate (live occupancy and shed counts).
+    pub fn admission(&self) -> &AdmissionGate {
+        &self.shared.gate
+    }
+
+    /// Stops accepting, unblocks the workers and joins them. Queued
+    /// admissions shed with a typed `503 draining`; admitted requests
+    /// finish first.
     pub fn shutdown(mut self) {
+        self.shared.gate.begin_drain();
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Each worker blocks in accept(); poke one connection per
         // worker so every accept call returns and observes the flag.
@@ -174,6 +195,8 @@ pub fn spawn(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
         inflight: AtomicU64::new(0),
         default_deadline_ms: config.default_deadline_ms,
         slo: SloTracker::new(config.slo),
+        gate: AdmissionGate::new(config.admission),
+        chaos: config.chaos.clone().map(ChaosEngine::new),
         access_log,
         inject_panic_kind: config.inject_panic_kind.clone(),
     });
@@ -208,6 +231,16 @@ fn worker_loop(listener: &TcpListener, shared: &Shared, read_timeout: Duration) 
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        if let Some(chaos) = &shared.chaos {
+            match chaos.decide(ChaosPoint::Accept) {
+                Some(ChaosAction::Delay(delay)) => std::thread::sleep(delay),
+                Some(ChaosAction::Drop) => {
+                    drop(stream); // connection dies before any byte is read
+                    continue;
+                }
+                _ => {}
+            }
         }
         let _ = stream.set_read_timeout(Some(read_timeout));
         let _ = stream.set_nodelay(true);
@@ -250,6 +283,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                             cache: "-".to_owned(),
                             deadline_ms: shared.default_deadline_ms,
                             bytes_out: body.len() as u64,
+                            shed: "-".to_owned(),
                         });
                     }
                 }
@@ -298,6 +332,8 @@ struct Reply {
     kind: String,
     /// Cache outcome, when caching applied.
     cache: Option<&'static str>,
+    /// The shed reason label, when admission rejected the request.
+    shed: Option<&'static str>,
     /// Close the connection after this reply (shutdown).
     force_close: bool,
 }
@@ -311,6 +347,7 @@ impl Reply {
             body,
             kind: kind.to_owned(),
             cache: None,
+            shed: None,
             force_close: false,
         }
     }
@@ -329,8 +366,27 @@ impl Reply {
             body: error_body(status, message, degraded),
             kind: kind.to_owned(),
             cache: None,
+            shed: None,
             force_close: false,
         }
+    }
+
+    /// The typed shed answer: status from the reason, `retry-after`
+    /// (whole seconds, at least 1) + `x-retry-after-ms` (exact) +
+    /// `x-shed` headers, and the shed label in the access log.
+    fn shed(reason: ShedReason, retry_after_ms: u64, kind: &str) -> Reply {
+        let (status, phrase) = reason.status();
+        let mut reply = Reply::error(status, phrase, reason.message(), false, kind);
+        reply.headers.push((
+            "retry-after",
+            retry_after_ms.div_ceil(1_000).max(1).to_string(),
+        ));
+        reply
+            .headers
+            .push(("x-retry-after-ms", retry_after_ms.to_string()));
+        reply.headers.push(("x-shed", reason.label().to_owned()));
+        reply.shed = Some(reason.label());
+        reply
     }
 }
 
@@ -377,6 +433,7 @@ fn respond(
         body: raw_body,
         kind,
         cache,
+        shed,
         force_close,
     } = reply;
 
@@ -403,8 +460,30 @@ fn respond(
     for (name, value) in &reply_headers {
         headers.push((name, value));
     }
-    let close = close || force_close;
-    let result = http::write_response(writer, status, reason, &headers, &body, close);
+    let mut close = close || force_close;
+
+    // The respond chaos point applies only to analysis traffic —
+    // injecting into /healthz or /metrics would blind the observer.
+    let mut dropped = false;
+    if request.path == "/query" || request.path == "/batch" {
+        if let Some(chaos) = &shared.chaos {
+            match chaos.decide(ChaosPoint::Respond) {
+                Some(ChaosAction::Delay(delay)) => std::thread::sleep(delay),
+                Some(ChaosAction::Drop) => {
+                    // Deliberately untyped: the bytes never go out, but
+                    // the request still gets its one access-log line.
+                    dropped = true;
+                    close = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    let result = if dropped {
+        Ok(())
+    } else {
+        http::write_response(writer, status, reason, &headers, &body, close)
+    };
 
     if let Some(log) = &shared.access_log {
         log.log(&AccessEntry {
@@ -416,7 +495,8 @@ fn respond(
             latency_us: latency_ns / 1_000,
             cache: cache.unwrap_or("-").to_owned(),
             deadline_ms: deadline_ms(request, shared),
-            bytes_out: body.len() as u64,
+            bytes_out: if dropped { 0 } else { body.len() as u64 },
+            shed: shed.unwrap_or("-").to_owned(),
         });
     }
     result.map(|()| !close)
@@ -454,6 +534,7 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                 ("fingerprint", Json::Str(shared.engine.fingerprint_hex())),
                 ("systems", Json::Num(shared.engine.trace().len() as f64)),
                 ("slo", slo.to_json()),
+                ("admission", shared.gate.to_json()),
             ])
             .pretty();
             Reply::ok(body, "healthz")
@@ -485,6 +566,7 @@ fn route(request: &Request, shared: &Shared) -> Reply {
             Reply::ok(body, "requests")
         }
         ("POST", "/shutdown") => {
+            shared.gate.begin_drain();
             shared.shutdown.store(true, Ordering::SeqCst);
             let body = Json::obj([("status", Json::Str("shutting down".to_owned()))]).pretty();
             let mut reply = Reply::ok(body, "shutdown");
@@ -536,6 +618,25 @@ fn handle_query(request: &Request, shared: &Shared) -> Reply {
         panic!("injected panic for analysis kind {kind}");
     }
     let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
+
+    // A warm cache entry makes the request cheap: admission peeks at
+    // the cache (bumping recency is fine — the hit is about to serve).
+    let key: CacheKey = (shared.engine.fingerprint(), parsed.canonical());
+    let class = if shared.cache.get(&key).is_some() {
+        CostClass::Cheap
+    } else {
+        CostClass::Expensive
+    };
+    if let Some(reply) = chaos_admission(shared, class, kind) {
+        return reply;
+    }
+    let _permit = match shared.gate.admit(class, deadline) {
+        Ok(permit) => permit,
+        Err(reason) => return Reply::shed(reason, shared.gate.config().retry_after_ms, kind),
+    };
+    if let Some(reply) = chaos_engine_point(shared, kind) {
+        return reply;
+    }
     match answer(&parsed, shared, deadline) {
         Answer::Fresh(body) => {
             hpcfail_obs::counter("serve.cache.miss").inc();
@@ -623,6 +724,18 @@ fn handle_batch(request: &Request, shared: &Shared) -> Reply {
         }
     }
     let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
+    if let Some(reply) = chaos_admission(shared, CostClass::Batch, "batch") {
+        return reply;
+    }
+    // One admission covers the whole batch: it is one unit of work for
+    // brownout purposes, whatever its length.
+    let _permit = match shared.gate.admit(CostClass::Batch, deadline) {
+        Ok(permit) => permit,
+        Err(reason) => return Reply::shed(reason, shared.gate.config().retry_after_ms, "batch"),
+    };
+    if let Some(reply) = chaos_engine_point(shared, "batch") {
+        return reply;
+    }
     let mut bodies = Vec::with_capacity(parsed.len());
     for item in &parsed {
         match answer(item, shared, deadline) {
@@ -707,6 +820,71 @@ fn answer(request: &AnalysisRequest, shared: &Shared, deadline: Instant) -> Answ
             Some(body) => Answer::Coalesced(body),
             None => Answer::Degraded,
         },
+    }
+}
+
+/// The admission chaos point: latency, an injected typed error, or a
+/// forced shed — decided before the real gate sees the request.
+fn chaos_admission(shared: &Shared, class: CostClass, kind: &str) -> Option<Reply> {
+    let chaos = shared.chaos.as_ref()?;
+    match chaos.decide(ChaosPoint::Admission)? {
+        ChaosAction::Delay(delay) => {
+            std::thread::sleep(delay);
+            None
+        }
+        ChaosAction::Fail { status } => Some(Reply::error(
+            status,
+            reason_phrase(status),
+            "chaos-injected error",
+            false,
+            kind,
+        )),
+        ChaosAction::Shed => {
+            let reason = shared.gate.record_chaos_shed(class);
+            Some(Reply::shed(
+                reason,
+                shared.gate.config().retry_after_ms,
+                kind,
+            ))
+        }
+        ChaosAction::Drop => None, // unreachable: parser rejects drop here
+    }
+}
+
+/// The engine chaos point: latency/stall or an injected typed error,
+/// decided after admission (the permit is held through the sleep, so
+/// stalls genuinely occupy gate capacity).
+fn chaos_engine_point(shared: &Shared, kind: &str) -> Option<Reply> {
+    let chaos = shared.chaos.as_ref()?;
+    match chaos.decide(ChaosPoint::Engine)? {
+        ChaosAction::Delay(delay) => {
+            std::thread::sleep(delay);
+            None
+        }
+        ChaosAction::Fail { status } => Some(Reply::error(
+            status,
+            reason_phrase(status),
+            "chaos-injected error",
+            false,
+            kind,
+        )),
+        _ => None, // unreachable: parser rejects drop/shed here
+    }
+}
+
+/// The reason phrase for an injected status code.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
     }
 }
 

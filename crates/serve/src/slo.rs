@@ -23,6 +23,10 @@ pub struct SloPolicy {
     pub latency_budget_ms: u64,
     /// Highest acceptable windowed error rate (5xx / requests).
     pub max_error_rate: f64,
+    /// Evaluation window length, milliseconds. A shorter window lets
+    /// `/healthz` recover faster after a storm (the chaos suite uses
+    /// this); 30 s is the production default.
+    pub window_ms: u64,
 }
 
 impl Default for SloPolicy {
@@ -30,6 +34,7 @@ impl Default for SloPolicy {
         SloPolicy {
             latency_budget_ms: 500,
             max_error_rate: 0.05,
+            window_ms: 30_000,
         }
     }
 }
@@ -40,12 +45,20 @@ struct KindTrack {
     errors: WindowCounter,
 }
 
+/// Exponential nanosecond bounds (1 µs to ~64 s), matching
+/// `WindowHistogram::exponential_ns`.
+fn latency_bounds() -> Vec<u64> {
+    (10..37).map(|p| 1u64 << p).collect()
+}
+
 impl KindTrack {
-    fn new() -> KindTrack {
+    fn new(window_ms: u64) -> KindTrack {
+        // 30 slots over the window, whatever its length.
+        let slot_ms = (window_ms / 30).max(1);
         KindTrack {
-            latency: WindowHistogram::exponential_ns(),
-            requests: WindowCounter::new(1_000, 30),
-            errors: WindowCounter::new(1_000, 30),
+            latency: WindowHistogram::with_bounds(&latency_bounds(), slot_ms, 30),
+            requests: WindowCounter::new(slot_ms, 30),
+            errors: WindowCounter::new(slot_ms, 30),
         }
     }
 }
@@ -76,7 +89,9 @@ impl SloTracker {
             Ok(kinds) => kinds,
             Err(poisoned) => poisoned.into_inner(),
         };
-        let track = kinds.entry(kind.to_owned()).or_insert_with(KindTrack::new);
+        let track = kinds
+            .entry(kind.to_owned())
+            .or_insert_with(|| KindTrack::new(self.policy.window_ms));
         track.latency.record(latency_ns);
         track.requests.add(1);
         if error {
@@ -219,6 +234,7 @@ mod tests {
         let tracker = SloTracker::new(SloPolicy {
             latency_budget_ms: 100,
             max_error_rate: 0.05,
+            ..SloPolicy::default()
         });
         for _ in 0..100 {
             tracker.record("trace-summary", 2_000_000, false); // 2 ms
@@ -237,6 +253,7 @@ mod tests {
         let tracker = SloTracker::new(SloPolicy {
             latency_budget_ms: 1,
             max_error_rate: 0.01,
+            ..SloPolicy::default()
         });
         for i in 0..50 {
             // 10 ms latency blows the 1 ms budget; every 5th is a 5xx.

@@ -296,6 +296,7 @@ fn access_log_writes_exactly_one_line_per_request() {
             "latency_us",
             "method",
             "path",
+            "shed",
             "status",
             "trace_id",
         ] {
@@ -335,6 +336,7 @@ fn tight_slo_budget_degrades_healthz() {
             slo: SloPolicy {
                 latency_budget_ms: 500,
                 max_error_rate: 0.01,
+                ..SloPolicy::default()
             },
             ..ServerConfig::default()
         },
