@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! hpcfail-load run [--profile ci] [--addr HOST:PORT | --in-process]
+//!                  [--trace NAME]
 //!                  [--scale 0.05] [--seed 42 | --scenario NAME|PATH]
 //!                  [--threads 4] [--cache 1024] [--out PATH]
 //!                  [--retries N] [--retry-base-ms MS] [--retry-seed S]
@@ -10,6 +11,12 @@
 //! hpcfail-load check PATH
 //! hpcfail-load profiles
 //! ```
+//!
+//! `--trace NAME` aims the run at a named trace in the server's
+//! registry (HTTP targets post to `/v1/traces/NAME/query` and
+//! `.../batch`; the in-process target keys its cache under the name).
+//! Defaults to `default`, which is where `hpcfail-serve serve` boots
+//! its trace unless told otherwise.
 //!
 //! `--retries N` makes the HTTP target retry shed answers (429/503)
 //! and transport failures up to N times per item, with seeded jittered
@@ -40,6 +47,7 @@ use hpcfail_synth::FleetSpec;
 
 const USAGE: &str = "usage:
   hpcfail-load run [--profile ci] [--addr HOST:PORT | --in-process]
+                   [--trace NAME]
                    [--scale 0.05] [--seed 42 | --scenario NAME|PATH]
                    [--threads 4] [--cache 1024] [--out PATH]
                    [--retries N] [--retry-base-ms MS] [--retry-seed S]
@@ -85,6 +93,7 @@ struct RunArgs {
     profile: String,
     addr: Option<String>,
     in_process: bool,
+    trace: String,
     scale: f64,
     seed: u64,
     scenario: Option<String>,
@@ -103,6 +112,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         profile: "ci".to_owned(),
         addr: None,
         in_process: false,
+        trace: hpcfail_serve::DEFAULT_TRACE.to_owned(),
         scale: 0.05,
         seed: 42,
         scenario: None,
@@ -126,6 +136,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 parsed.in_process = true;
                 Ok(())
             }
+            "--trace" => take_value("--trace", &mut iter).and_then(|v| {
+                if hpcfail_serve::registry::valid_name(v) {
+                    parsed.trace = v.to_owned();
+                    Ok(())
+                } else {
+                    Err(format!("invalid --trace name {v:?}"))
+                }
+            }),
             "--scale" => take_value("--scale", &mut iter).and_then(|v| {
                 v.parse()
                     .map(|n| parsed.scale = n)
@@ -255,9 +273,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 seed: parsed.retry_seed.unwrap_or(default.seed),
                 ..default
             };
-            Box::new(Http::with_retry(addr, policy))
+            Box::new(Http::with_retry(addr, policy).with_trace(&parsed.trace))
         } else {
-            Box::new(Http::new(addr))
+            Box::new(Http::new(addr).with_trace(&parsed.trace))
         }
     } else {
         if !parsed.quiet {
@@ -268,7 +286,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             Some(scenario) => scenario.generate().into_store(),
             None => fleet.generate(parsed.seed).into_store(),
         };
-        Box::new(InProcess::new(trace, parsed.cache))
+        Box::new(InProcess::new(trace, parsed.cache).with_trace_name(&parsed.trace))
     };
 
     let stats = execute(
@@ -313,7 +331,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if parsed.shutdown {
         if let Some(addr) = &parsed.addr {
             let client = hpcfail_serve::Client::new(addr.clone());
-            if let Err(err) = client.post("/shutdown", "", &[]) {
+            if let Err(err) = client.post("/v1/shutdown", "", &[]) {
                 eprintln!("shutdown request failed: {err}");
             }
         }

@@ -2,11 +2,16 @@
 //!
 //! The in-process target is not a mock — it reuses the *server's own*
 //! result cache ([`hpcfail_serve::cache::ResultCache`]) with the
-//! server's cache key `(engine fingerprint, canonical request)` and
-//! renders bodies with the server's exact expression
+//! server's cache key `(trace name, epoch fingerprint, canonical
+//! request)` and renders bodies with the server's exact expression
 //! (`engine.run(req).to_json().pretty()`), so harness bodies are
-//! byte-identical to `/query` responses and the differential tests can
+//! byte-identical to query responses and the differential tests can
 //! hold both paths to the same answer.
+//!
+//! Both targets are trace-scoped: the HTTP target posts to
+//! `/v1/traces/{name}/query` and `/v1/traces/{name}/batch`, and the
+//! in-process target keys its cache under the same name, defaulting to
+//! [`DEFAULT_TRACE`] on both sides.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,7 +19,7 @@ use std::time::Duration;
 use hpcfail_core::engine::{AnalysisRequest, Engine};
 use hpcfail_obs::json::Json;
 use hpcfail_serve::cache::{CacheKey, ResultCache};
-use hpcfail_serve::{Client, RetryPolicy, RetryingClient};
+use hpcfail_serve::{Client, RetryPolicy, RetryingClient, DEFAULT_TRACE};
 use hpcfail_store::trace::Trace;
 
 /// What one call produced, as the harness saw it.
@@ -79,6 +84,7 @@ pub trait Target: Sync {
 /// In-process target: the engine behind the server's own result cache.
 pub struct InProcess {
     engine: Engine,
+    trace_name: String,
     fingerprint: u64,
     cache: ResultCache,
 }
@@ -86,14 +92,25 @@ pub struct InProcess {
 impl InProcess {
     /// Builds the target from a trace, with a result cache of
     /// `cache_capacity` entries (0 disables caching, like the server).
+    /// The cache is keyed under [`DEFAULT_TRACE`].
     pub fn new(trace: Trace, cache_capacity: usize) -> Self {
         let engine = Engine::new(trace);
         let fingerprint = engine.fingerprint();
         InProcess {
             engine,
+            trace_name: DEFAULT_TRACE.to_owned(),
             fingerprint,
             cache: ResultCache::new(cache_capacity),
         }
+    }
+
+    /// Keys the cache under `name` instead of [`DEFAULT_TRACE`],
+    /// mirroring the server's `(trace, epoch fingerprint, request)`
+    /// cache key for that trace.
+    #[must_use]
+    pub fn with_trace_name(mut self, name: impl Into<String>) -> Self {
+        self.trace_name = name.into();
+        self
     }
 
     /// The engine, for differential comparison against direct calls.
@@ -104,7 +121,11 @@ impl InProcess {
     /// Renders one query body exactly as the server would, returning
     /// `(body, was_cache_hit)`.
     fn render(&self, request: &AnalysisRequest) -> (Arc<String>, bool) {
-        let key: CacheKey = (self.fingerprint, request.canonical());
+        let key: CacheKey = (
+            self.trace_name.clone(),
+            self.fingerprint,
+            request.canonical(),
+        );
         if let Some(body) = self.cache.get(&key) {
             return (body, true);
         }
@@ -177,22 +198,42 @@ impl Target for InProcess {
 /// is [`RetryPolicy::none`], which preserves single-attempt semantics.
 pub struct Http {
     client: RetryingClient,
+    query_path: String,
+    batch_path: String,
 }
 
 impl Http {
-    /// A single-attempt target for the server at `addr` (`host:port`).
+    /// A single-attempt target for the server at `addr` (`host:port`),
+    /// aimed at [`DEFAULT_TRACE`].
     pub fn new(addr: &str) -> Self {
         Http::with_retry(addr, RetryPolicy::none())
     }
 
     /// A target that retries sheds and transport failures per `policy`.
     pub fn with_retry(addr: &str, policy: RetryPolicy) -> Self {
-        Http {
+        let mut target = Http {
             client: RetryingClient::new(
                 Client::new(addr).with_timeout(Duration::from_secs(60)),
                 policy,
             ),
-        }
+            query_path: String::new(),
+            batch_path: String::new(),
+        };
+        target.set_trace(DEFAULT_TRACE);
+        target
+    }
+
+    /// Aims the target at the named trace's `/v1` endpoints instead of
+    /// [`DEFAULT_TRACE`].
+    #[must_use]
+    pub fn with_trace(mut self, name: &str) -> Self {
+        self.set_trace(name);
+        self
+    }
+
+    fn set_trace(&mut self, name: &str) {
+        self.query_path = format!("/v1/traces/{name}/query");
+        self.batch_path = format!("/v1/traces/{name}/batch");
     }
 
     /// The underlying retrying client (for `/shutdown` etc.).
@@ -209,10 +250,10 @@ impl Target for Http {
             headers.push(("x-deadline-ms", value));
         }
         let (path, body) = if requests.len() == 1 {
-            ("/query", requests[0].canonical())
+            (self.query_path.as_str(), requests[0].canonical())
         } else {
             let items: Vec<Json> = requests.iter().map(|r| r.to_json()).collect();
-            ("/batch", Json::Arr(items).pretty())
+            (self.batch_path.as_str(), Json::Arr(items).pretty())
         };
         let detailed = self.client.post_detailed(path, &body, &headers);
         let retries = u64::from(detailed.attempts.saturating_sub(1));

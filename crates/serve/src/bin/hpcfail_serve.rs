@@ -6,18 +6,30 @@
 //! hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
 //!                     [--scale 0.1] [--seed 42] [--scenario NAME|PATH]
 //!                     [--trace DIR [--policy strict|lenient|best-effort]]
-//!                     [--snapshot PATH]
+//!                     [--snapshot PATH] [--empty] [--name NAME]
+//!                     [--max-resident-bytes N]
 //!                     [--manifest PATH] [--access-log PATH]
 //!                     [--slo-latency-ms N] [--slo-error-rate F] [--slo-window-ms N]
 //!                     [--max-inflight N] [--max-queued N] [--shed-policy reject|brownout]
 //!                     [--read-timeout-ms N] [--chaos PATH]
 //!                     [--inject-panic KIND] [--quiet]
-//! hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace]
+//! hpcfail-serve query --addr HOST:PORT [--trace-name NAME] [--deadline-ms N]
+//!                     [--batch] [--trace]
 //!                     [--retries N] [--retry-base-ms N] [--retry-seed N] JSON|-
+//! hpcfail-serve upload --addr HOST:PORT --name NAME (--csv PATH | --snapshot PATH)
+//!                      [--policy strict|lenient|best-effort]
+//! hpcfail-serve traces --addr HOST:PORT
+//! hpcfail-serve evict --addr HOST:PORT --name NAME
 //! hpcfail-serve top --addr HOST:PORT [--interval-ms 1000] [--frames N]
 //! hpcfail-serve check-metrics (--addr HOST:PORT | --file PATH) [--require SERIES]...
 //! hpcfail-serve requests
 //! ```
+//!
+//! `serve` registers its boot trace under `--name` (default `default`)
+//! or starts with an empty registry (`--empty`); further traces arrive
+//! over `POST /v1/traces/{name}` (the `upload` subcommand). `query`
+//! talks to the versioned trace-scoped API
+//! (`/v1/traces/{name}/query`).
 //!
 //! Exit codes: 0 success, 1 runtime/server error, 2 usage error.
 
@@ -27,8 +39,9 @@ use hpcfail_obs::sink::Sink;
 use hpcfail_serve::admission::{AdmissionConfig, ShedPolicy};
 use hpcfail_serve::chaos::ChaosConfig;
 use hpcfail_serve::client::Client;
+use hpcfail_serve::registry::{TraceRegistry, TraceSource, DEFAULT_TRACE};
 use hpcfail_serve::retry::{RetryPolicy, RetryingClient};
-use hpcfail_serve::server::{spawn, ServerConfig};
+use hpcfail_serve::server::{spawn_with_registry, ServerConfig};
 use hpcfail_serve::slo::SloPolicy;
 use hpcfail_serve::{promtext, top};
 use hpcfail_store::ingest::{load_trace_snapshot_first, load_trace_with, IngestPolicy};
@@ -36,20 +49,27 @@ use hpcfail_store::snapshot::read_snapshot;
 use hpcfail_synth::FleetSpec;
 use std::io::{IsTerminal, Read};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage:
   hpcfail-serve serve [--addr 127.0.0.1:7070] [--workers 4] [--cache 1024]
                       [--scale 0.1] [--seed 42] [--scenario NAME|PATH]
                       [--trace DIR [--policy strict|lenient|best-effort]]
-                      [--snapshot PATH]
+                      [--snapshot PATH] [--empty] [--name NAME]
+                      [--max-resident-bytes N]
                       [--manifest PATH] [--access-log PATH]
                       [--slo-latency-ms N] [--slo-error-rate F] [--slo-window-ms N]
                       [--max-inflight N] [--max-queued N] [--shed-policy reject|brownout]
                       [--read-timeout-ms N] [--chaos PATH]
                       [--inject-panic KIND] [--quiet]
-  hpcfail-serve query --addr HOST:PORT [--deadline-ms N] [--batch] [--trace]
+  hpcfail-serve query --addr HOST:PORT [--trace-name NAME] [--deadline-ms N]
+                      [--batch] [--trace]
                       [--retries N] [--retry-base-ms N] [--retry-seed N] JSON|-
+  hpcfail-serve upload --addr HOST:PORT --name NAME (--csv PATH | --snapshot PATH)
+                       [--policy strict|lenient|best-effort]
+  hpcfail-serve traces --addr HOST:PORT
+  hpcfail-serve evict --addr HOST:PORT --name NAME
   hpcfail-serve top --addr HOST:PORT [--interval-ms 1000] [--frames N]
   hpcfail-serve check-metrics (--addr HOST:PORT | --file PATH) [--require SERIES]...
   hpcfail-serve requests";
@@ -59,6 +79,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("upload") => cmd_upload(&args[1..]),
+        Some("traces") => cmd_traces(&args[1..]),
+        Some("evict") => cmd_evict(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("check-metrics") => cmd_check_metrics(&args[1..]),
         Some("requests") => {
@@ -87,6 +110,9 @@ struct ServeArgs {
     scenario: Option<String>,
     trace_dir: Option<String>,
     snapshot: Option<String>,
+    empty: bool,
+    name: String,
+    max_resident_bytes: u64,
     policy: IngestPolicy,
     manifest: Option<String>,
     access_log: Option<String>,
@@ -124,6 +150,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         scenario: None,
         trace_dir: None,
         snapshot: None,
+        empty: false,
+        name: DEFAULT_TRACE.to_owned(),
+        max_resident_bytes: 0,
         policy: IngestPolicy::Strict,
         manifest: None,
         access_log: None,
@@ -170,6 +199,25 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }
                 "--snapshot" => take_value("--snapshot", &mut iter)
                     .map(|v| parsed.snapshot = Some(v.to_owned())),
+                "--empty" => {
+                    parsed.empty = true;
+                    Ok(())
+                }
+                "--name" => take_value("--name", &mut iter).and_then(|v| {
+                    if hpcfail_serve::registry::valid_name(v) {
+                        parsed.name = v.to_owned();
+                        Ok(())
+                    } else {
+                        Err(format!("invalid --name {v:?}"))
+                    }
+                }),
+                "--max-resident-bytes" => {
+                    take_value("--max-resident-bytes", &mut iter).and_then(|v| {
+                        v.parse()
+                            .map(|n| parsed.max_resident_bytes = n)
+                            .map_err(|_| format!("invalid --max-resident-bytes {v:?}"))
+                    })
+                }
                 "--policy" => take_value("--policy", &mut iter)
                     .and_then(|v| v.parse().map(|p| parsed.policy = p)),
                 "--manifest" => take_value("--manifest", &mut iter)
@@ -236,29 +284,65 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     {
         return usage_error("--scenario excludes --scale/--seed/--trace/--snapshot");
     }
+    if parsed.empty
+        && (parsed.scale.is_some()
+            || parsed.seed.is_some()
+            || parsed.scenario.is_some()
+            || parsed.trace_dir.is_some()
+            || parsed.snapshot.is_some())
+    {
+        return usage_error("--empty excludes every trace source (traces arrive by upload)");
+    }
     let scale = parsed.scale.unwrap_or(0.1);
     let seed = parsed.seed.unwrap_or(42);
     if scale <= 0.0 {
         return usage_error("--scale must be positive");
     }
 
-    let engine = match (&parsed.snapshot, &parsed.trace_dir) {
-        (Some(path), Some(dir)) => {
-            // Snapshot-first boot with a CSV safety net: a bad snapshot
-            // is an audit line, never a dead server.
-            match load_trace_snapshot_first(path, dir, parsed.policy) {
-                Ok((trace, report, fallback)) => {
-                    if let Some(fallback) = &fallback {
-                        eprintln!("ingest: {fallback}");
-                    }
-                    if let Some(report) = &report {
-                        if !parsed.quiet && !report.quarantined.is_empty() {
-                            eprintln!(
-                                "ingest: quarantined {} rows under {} policy",
-                                report.quarantined.len(),
-                                parsed.policy
-                            );
+    let engine = if parsed.empty {
+        None
+    } else {
+        Some(match (&parsed.snapshot, &parsed.trace_dir) {
+            (Some(path), Some(dir)) => {
+                // Snapshot-first boot with a CSV safety net: a bad snapshot
+                // is an audit line, never a dead server.
+                match load_trace_snapshot_first(path, dir, parsed.policy) {
+                    Ok((trace, report, fallback)) => {
+                        if let Some(fallback) = &fallback {
+                            eprintln!("ingest: {fallback}");
                         }
+                        if let Some(report) = &report {
+                            if !parsed.quiet && !report.quarantined.is_empty() {
+                                eprintln!(
+                                    "ingest: quarantined {} rows under {} policy",
+                                    report.quarantined.len(),
+                                    parsed.policy
+                                );
+                            }
+                        }
+                        Engine::new(trace)
+                    }
+                    Err(err) => {
+                        eprintln!("failed to load trace from {dir:?}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            (Some(path), None) => match read_snapshot(path) {
+                Ok(trace) => Engine::new(trace),
+                Err(err) => {
+                    eprintln!("failed to load snapshot {path:?}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            (None, Some(dir)) => match load_trace_with(dir, parsed.policy) {
+                Ok((trace, report)) => {
+                    if !parsed.quiet && !report.quarantined.is_empty() {
+                        eprintln!(
+                            "ingest: quarantined {} rows under {} policy",
+                            report.quarantined.len(),
+                            parsed.policy
+                        );
                     }
                     Engine::new(trace)
                 }
@@ -266,50 +350,27 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     eprintln!("failed to load trace from {dir:?}: {err}");
                     return ExitCode::FAILURE;
                 }
-            }
-        }
-        (Some(path), None) => match read_snapshot(path) {
-            Ok(trace) => Engine::new(trace),
-            Err(err) => {
-                eprintln!("failed to load snapshot {path:?}: {err}");
-                return ExitCode::FAILURE;
-            }
-        },
-        (None, Some(dir)) => match load_trace_with(dir, parsed.policy) {
-            Ok((trace, report)) => {
-                if !parsed.quiet && !report.quarantined.is_empty() {
-                    eprintln!(
-                        "ingest: quarantined {} rows under {} policy",
-                        report.quarantined.len(),
-                        parsed.policy
-                    );
-                }
-                Engine::new(trace)
-            }
-            Err(err) => {
-                eprintln!("failed to load trace from {dir:?}: {err}");
-                return ExitCode::FAILURE;
-            }
-        },
-        (None, None) => {
-            if let Some(name) = &parsed.scenario {
-                // Scenario packs bake in their own seed.
-                match hpcfail_synth::scenario::load(name) {
-                    Ok(scenario) => Engine::new(scenario.generate().into_store()),
-                    Err(err) => {
-                        eprintln!("cannot load scenario {name:?}: {err}");
-                        return ExitCode::FAILURE;
+            },
+            (None, None) => {
+                if let Some(name) = &parsed.scenario {
+                    // Scenario packs bake in their own seed.
+                    match hpcfail_synth::scenario::load(name) {
+                        Ok(scenario) => Engine::new(scenario.generate().into_store()),
+                        Err(err) => {
+                            eprintln!("cannot load scenario {name:?}: {err}");
+                            return ExitCode::FAILURE;
+                        }
                     }
-                }
-            } else {
-                let spec = if scale >= 1.0 {
-                    FleetSpec::lanl()
                 } else {
-                    FleetSpec::lanl_scaled(scale)
-                };
-                Engine::new(spec.generate(seed).into_store())
+                    let spec = if scale >= 1.0 {
+                        FleetSpec::lanl()
+                    } else {
+                        FleetSpec::lanl_scaled(scale)
+                    };
+                    Engine::new(spec.generate(seed).into_store())
+                }
             }
-        }
+        })
     };
 
     let chaos = match &parsed.chaos {
@@ -332,7 +393,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         None => None,
     };
 
-    let fingerprint = engine.fingerprint_hex();
+    let fingerprint = engine.as_ref().map_or_else(
+        || "none (empty registry)".to_owned(),
+        Engine::fingerprint_hex,
+    );
     let default_slo = SloPolicy::default();
     let default_admission = AdmissionConfig::default();
     let default_config = ServerConfig::default();
@@ -362,9 +426,14 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         },
         chaos,
         inject_panic_kind: parsed.inject_panic.clone(),
+        max_resident_bytes: parsed.max_resident_bytes,
         ..ServerConfig::default()
     };
-    let handle = match spawn(engine, config) {
+    let registry = TraceRegistry::new(parsed.max_resident_bytes);
+    if let Some(engine) = engine {
+        registry.insert_engine(&parsed.name, Arc::new(engine), TraceSource::Boot);
+    }
+    let handle = match spawn_with_registry(registry, config) {
         Ok(handle) => handle,
         Err(err) => {
             eprintln!("failed to bind {:?}: {err}", parsed.addr);
@@ -403,6 +472,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
 fn cmd_query(args: &[String]) -> ExitCode {
     let mut addr: Option<String> = None;
+    let mut trace_name = DEFAULT_TRACE.to_owned();
     let mut deadline_ms: Option<u64> = None;
     let mut batch = false;
     let mut trace = false;
@@ -414,6 +484,14 @@ fn cmd_query(args: &[String]) -> ExitCode {
     while let Some(arg) = iter.next() {
         let result: Result<(), String> = match arg.as_str() {
             "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            "--trace-name" => take_value("--trace-name", &mut iter).and_then(|v| {
+                if hpcfail_serve::registry::valid_name(v) {
+                    trace_name = v.to_owned();
+                    Ok(())
+                } else {
+                    Err(format!("invalid --trace-name {v:?}"))
+                }
+            }),
             "--deadline-ms" => take_value("--deadline-ms", &mut iter).and_then(|v| {
                 v.parse()
                     .map(|n| deadline_ms = Some(n))
@@ -505,8 +583,12 @@ fn cmd_query(args: &[String]) -> ExitCode {
         .iter()
         .map(|(n, v)| (n.as_str(), v.as_str()))
         .collect();
-    let path = if batch { "/batch" } else { "/query" };
-    let outcome = client.post_detailed(path, &body, &header_refs);
+    let path = if batch {
+        format!("/v1/traces/{trace_name}/batch")
+    } else {
+        format!("/v1/traces/{trace_name}/query")
+    };
+    let outcome = client.post_detailed(&path, &body, &header_refs);
     if outcome.attempts > 1 {
         eprintln!(
             "retries: {} ({} shed answers{})",
@@ -532,6 +614,143 @@ fn cmd_query(args: &[String]) -> ExitCode {
         }
         Err(err) => {
             eprintln!("request to {path} failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_upload(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    let mut policy: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            "--name" => take_value("--name", &mut iter).map(|v| name = Some(v.to_owned())),
+            "--csv" => take_value("--csv", &mut iter).map(|v| csv = Some(v.to_owned())),
+            "--snapshot" => {
+                take_value("--snapshot", &mut iter).map(|v| snapshot = Some(v.to_owned()))
+            }
+            "--policy" => take_value("--policy", &mut iter).and_then(|v| {
+                // Validate locally for a friendlier error than a round
+                // trip; the server re-checks its x-ingest-policy header.
+                v.parse::<IngestPolicy>()
+                    .map(|_| policy = Some(v.to_owned()))
+            }),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("upload needs --addr HOST:PORT");
+    };
+    let Some(name) = name else {
+        return usage_error("upload needs --name NAME");
+    };
+    if !hpcfail_serve::registry::valid_name(&name) {
+        return usage_error(&format!("invalid --name {name:?}"));
+    }
+    let path = match (&csv, &snapshot) {
+        (Some(path), None) | (None, Some(path)) => path.clone(),
+        _ => return usage_error("upload needs exactly one of --csv or --snapshot"),
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(err) => {
+            eprintln!("failed to read {path:?}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(policy) = &policy {
+        headers.push(("x-ingest-policy", policy));
+    }
+    let client = Client::new(addr);
+    match client.post_bytes(&format!("/v1/traces/{name}"), &bytes, &headers) {
+        Ok(response) => {
+            print!("{}", response.body);
+            if response.status < 300 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("upload answered {}", response.status);
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("upload to {name:?} failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_traces(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("traces needs --addr HOST:PORT");
+    };
+    match Client::new(addr).get("/v1/traces") {
+        Ok(response) => {
+            print!("{}", response.body);
+            if response.status < 300 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("trace listing failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_evict(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take_value("--addr", &mut iter).map(|v| addr = Some(v.to_owned())),
+            "--name" => take_value("--name", &mut iter).map(|v| name = Some(v.to_owned())),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+    let Some(addr) = addr else {
+        return usage_error("evict needs --addr HOST:PORT");
+    };
+    let Some(name) = name else {
+        return usage_error("evict needs --name NAME");
+    };
+    match Client::new(addr).delete(&format!("/v1/traces/{name}")) {
+        Ok(response) => {
+            print!("{}", response.body);
+            if response.status < 300 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("evict answered {}", response.status);
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("evict of {name:?} failed: {err}");
             ExitCode::FAILURE
         }
     }

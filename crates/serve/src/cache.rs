@@ -1,17 +1,18 @@
 //! The LRU result cache.
 //!
-//! Keys are `(trace fingerprint, canonical request JSON)`; values are
-//! shared serialized response bodies. The fingerprint in the key makes
-//! entries self-invalidating: an engine over different data can never
-//! be answered from another trace's results, even if a future server
-//! hosts several engines behind one cache.
+//! Keys are `(trace name, epoch fingerprint, canonical request JSON)`;
+//! values are shared serialized response bodies. The name scopes
+//! entries to one registry slot and the fingerprint to one epoch's
+//! data, so re-uploading different data under the same name can never
+//! serve a stale hit — while re-uploading byte-identical data keeps
+//! its warm entries (same fingerprint, same key).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::sync::Mutex;
 
-/// Cache key: `(engine fingerprint, canonical request)`.
-pub type CacheKey = (u64, String);
+/// Cache key: `(trace name, epoch fingerprint, canonical request)`.
+pub type CacheKey = (String, u64, String);
 
 struct CacheInner {
     /// key → (body, recency stamp)
@@ -96,7 +97,7 @@ mod tests {
     use super::*;
 
     fn key(s: &str) -> CacheKey {
-        (7, s.to_owned())
+        ("default".to_owned(), 7, s.to_owned())
     }
 
     fn body(s: &str) -> Arc<String> {
@@ -112,8 +113,14 @@ mod tests {
             cache.get(&key("a")).as_deref().map(String::as_str),
             Some("1")
         );
-        // A different fingerprint is a different key.
-        assert!(cache.get(&(8, "a".to_owned())).is_none());
+        // A different fingerprint is a different key, and so is a
+        // different trace name.
+        assert!(cache
+            .get(&("default".to_owned(), 8, "a".to_owned()))
+            .is_none());
+        assert!(cache
+            .get(&("other".to_owned(), 7, "a".to_owned()))
+            .is_none());
     }
 
     #[test]

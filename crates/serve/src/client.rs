@@ -66,14 +66,38 @@ impl Client {
     ///
     /// Connection or protocol failures.
     pub fn post(&self, path: &str, body: &str, headers: &[(&str, &str)]) -> io::Result<Response> {
+        self.send("POST", path, Some(body.as_bytes()), headers)
+    }
+
+    /// Sends a POST with a binary body (trace uploads: `.hpcsnap`
+    /// bytes or raw CSV) and optional extra headers.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures.
+    pub fn post_bytes(
+        &self,
+        path: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> io::Result<Response> {
         self.send("POST", path, Some(body), headers)
+    }
+
+    /// Sends a DELETE (trace eviction).
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol failures.
+    pub fn delete(&self, path: &str) -> io::Result<Response> {
+        self.send("DELETE", path, None, &[])
     }
 
     fn send(
         &self,
         method: &str,
         path: &str,
-        body: Option<&str>,
+        body: Option<&[u8]>,
         headers: &[(&str, &str)],
     ) -> io::Result<Response> {
         let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
@@ -93,10 +117,10 @@ impl Client {
             head.push_str(value);
             head.push_str("\r\n");
         }
-        let body = body.unwrap_or("");
+        let body = body.unwrap_or(b"");
         head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
         writer.write_all(head.as_bytes())?;
-        writer.write_all(body.as_bytes())?;
+        writer.write_all(body)?;
         writer.flush()?;
 
         let mut reader = BufReader::new(stream);

@@ -129,7 +129,7 @@ mod tests {
     use std::time::Duration;
 
     fn key() -> CacheKey {
-        (1, "q".to_owned())
+        ("default".to_owned(), 1, "q".to_owned())
     }
 
     #[test]

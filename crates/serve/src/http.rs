@@ -11,8 +11,14 @@ use std::io::{self, BufRead, Write};
 pub const MAX_LINE: usize = 8 * 1024;
 /// Most accepted headers per request.
 pub const MAX_HEADERS: usize = 64;
-/// Largest accepted request body, bytes.
+/// Largest accepted request body on analysis/control endpoints, bytes.
 pub const MAX_BODY: usize = 1024 * 1024;
+/// Largest accepted request body on trace-upload endpoints, bytes.
+/// The server's per-request limit callback returns this for
+/// `POST /v1/traces/{name}` and [`MAX_BODY`] everywhere else, so an
+/// oversized declaration still gets its typed 413 before any body
+/// byte is read.
+pub const MAX_UPLOAD_BODY: usize = 64 * 1024 * 1024;
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -136,9 +142,22 @@ fn read_line(stream: &mut impl BufRead, allow_idle: bool) -> Result<Option<Strin
     }
 }
 
-/// Reads one request. `Ok(None)` means the connection closed cleanly
-/// between requests (normal keep-alive end).
+/// Reads one request under the default [`MAX_BODY`] limit. `Ok(None)`
+/// means the connection closed cleanly between requests (normal
+/// keep-alive end).
 pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    read_request_with_limit(stream, |_, _| MAX_BODY)
+}
+
+/// Reads one request, asking `max_body(method, path)` — called once
+/// the request line is parsed, before any body byte is read — how
+/// large a body this endpoint accepts. The server grants
+/// [`MAX_UPLOAD_BODY`] to trace uploads and [`MAX_BODY`] to everything
+/// else; over-limit declarations answer a typed 413 immediately.
+pub fn read_request_with_limit(
+    stream: &mut impl BufRead,
+    max_body: impl FnOnce(&str, &str) -> usize,
+) -> Result<Option<Request>, HttpError> {
     let Some(request_line) = read_line(stream, true)? else {
         return Ok(None);
     };
@@ -181,9 +200,10 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Option<Request>, HttpEr
             .map_err(|_| HttpError::Malformed(format!("invalid content-length {v:?}")))?,
         None => 0,
     };
-    if content_length > MAX_BODY {
+    let max_body = max_body(&method.to_ascii_uppercase(), path);
+    if content_length > max_body {
         return Err(HttpError::TooLarge(format!(
-            "body of {content_length} bytes exceeds {MAX_BODY}"
+            "body of {content_length} bytes exceeds {max_body}"
         )));
     }
     let mut body = vec![0u8; content_length];

@@ -1,19 +1,28 @@
-//! `hpcfail-serve`: a concurrent query service over the unified
-//! [`hpcfail_core::engine::Engine`] API.
+//! `hpcfail-serve`: a concurrent, multi-tenant query service over the
+//! unified [`hpcfail_core::engine::Engine`] API.
 //!
 //! The crate turns the analysis toolkit into a long-running server: a
-//! trace is loaded **once** (synthetic or CSV, any ingest policy), one
-//! [`Engine`](hpcfail_core::engine::Engine) fingerprints and shares it
-//! across a fixed pool of worker threads, and typed
+//! **trace registry** ([`registry`]) maps names to engines — traces
+//! load at boot or arrive as CSV/`.hpcsnap` uploads over HTTP, each
+//! with its own fingerprint and epoch — and typed
 //! [`AnalysisRequest`](hpcfail_core::engine::AnalysisRequest)s arrive
-//! as JSON over plain HTTP/1.1 — std only, no frameworks.
+//! as JSON over plain HTTP/1.1 — std only, no frameworks. The HTTP
+//! surface is versioned and trace-scoped (`/v1/traces/{name}/query`,
+//! see [`routes`]); the legacy unversioned endpoints keep working
+//! against the `default` trace with an `x-api-deprecated` header.
+//! Re-uploading a name is an atomic epoch swap: in-flight queries
+//! finish against their pinned epoch, and the old epoch's memory is
+//! released when its last pin drops. Under `--max-resident-bytes`,
+//! least-recently-queried traces demote to snapshot-backed cold state
+//! and rehydrate transparently on the next query.
 //!
 //! Serving adds three behaviors on top of the engine, none of which
 //! can change an answer's bytes:
 //!
 //! * **Result cache** ([`cache`]): an LRU keyed on
-//!   `(trace fingerprint, canonical request JSON)`. Warm queries skip
-//!   the analysis entirely.
+//!   `(trace name, epoch fingerprint, canonical request JSON)`. Warm
+//!   queries skip the analysis entirely; a name's stale epochs can
+//!   never answer.
 //! * **Coalescing** ([`coalesce`]): identical in-flight queries elect
 //!   one leader; followers share its serialized result.
 //! * **Deadlines** ([`server`]): a follower whose `x-deadline-ms`
@@ -77,7 +86,9 @@ pub mod coalesce;
 pub mod http;
 pub mod metrics;
 pub mod promtext;
+pub mod registry;
 pub mod retry;
+pub mod routes;
 pub mod server;
 pub mod slo;
 pub mod top;
@@ -85,6 +96,8 @@ pub mod top;
 pub use admission::{AdmissionConfig, CostClass, ShedPolicy, ShedReason};
 pub use chaos::{ChaosConfig, ChaosError};
 pub use client::{Client, Response};
+pub use registry::{TraceRegistry, TraceSource, TraceSummary, DEFAULT_TRACE};
 pub use retry::{RetryPolicy, RetryingClient};
+pub use routes::{Endpoint, RouteMatch, Routed};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use slo::{SloPolicy, SloReport};

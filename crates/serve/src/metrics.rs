@@ -10,6 +10,7 @@
 //! | `serve.cache.hit` / `.miss` / `serve.coalesced` | `serve_cache_requests_total{result=...}` |
 //! | `serve.status.<code>` | `serve_responses_total{code="..."}` |
 //! | `serve.kind.<kind>.requests` | `serve_requests_by_kind_total{kind="..."}` |
+//! | `serve.trace.<name>.requests` | `serve_trace_requests_total{trace="..."}` |
 //! | `serve.latency_ns.<kind>` histogram | `serve_request_latency_ns{kind=,quantile=}` summary |
 //! | `serve.window.latency_ns.<kind>` window | `serve_window_latency_ns{kind=,quantile=}` summary |
 //!
@@ -242,6 +243,31 @@ pub fn render(snapshot: &Snapshot, slo: &SloReport, inflight: u64) -> String {
         }
     }
 
+    // serve_trace_requests_total{trace=}
+    let traces: Vec<(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter_map(|(name, value)| {
+            name.strip_prefix("serve.trace.")
+                .and_then(|rest| rest.strip_suffix(".requests"))
+                .map(|trace| (trace.to_owned(), *value))
+        })
+        .collect();
+    if !traces.is_empty() {
+        out.family(
+            "serve_trace_requests_total",
+            "counter",
+            "Analysis requests by registry trace name.",
+        );
+        for (trace, value) in &traces {
+            out.sample(
+                "serve_trace_requests_total",
+                &[("trace", trace.clone())],
+                *value as f64,
+            );
+        }
+    }
+
     // Per-kind latency summaries: lifetime and sliding-window.
     let latency: Vec<(String, HistogramSnapshot)> = snapshot
         .histograms
@@ -335,6 +361,7 @@ pub fn render(snapshot: &Snapshot, slo: &SloReport, inflight: u64) -> String {
         if consumed.contains(&name.as_str())
             || name.starts_with("serve.status.")
             || name.starts_with("serve.kind.")
+            || name.starts_with("serve.trace.")
         {
             continue;
         }
@@ -394,6 +421,7 @@ mod tests {
         registry.counter("serve.status.200").add(11);
         registry.counter("serve.status.400").add(1);
         registry.counter("serve.kind.trace-summary.requests").add(6);
+        registry.counter("serve.trace.lanl-96.requests").add(5);
         registry.counter("engine.requests").add(6);
         registry.gauge("store.filter_hit_rate").set(0.5);
         for v in [1_000, 2_000, 50_000] {
@@ -427,6 +455,10 @@ mod tests {
         assert_eq!(
             scrape.value("serve_requests_by_kind_total", &[("kind", "trace-summary")]),
             Some(6.0)
+        );
+        assert_eq!(
+            scrape.value("serve_trace_requests_total", &[("trace", "lanl-96")]),
+            Some(5.0)
         );
         assert_eq!(scrape.value("serve_inflight", &[]), Some(3.0));
         assert_eq!(scrape.value("serve_slo_healthy", &[]), Some(1.0));

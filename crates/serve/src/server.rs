@@ -1,22 +1,36 @@
 //! The query server: a fixed pool of worker threads sharing one
-//! listener, one engine, one result cache and one coalescer.
+//! listener, one trace registry, one result cache and one coalescer.
 //!
 //! ## Endpoints
 //!
+//! The full table lives in [`routes`]; the versioned surface is:
+//!
 //! | method & path | answer |
 //! |---|---|
-//! | `GET /healthz` | liveness + trace fingerprint + SLO standings |
-//! | `GET /metrics` | Prometheus text exposition of the live registry |
-//! | `GET /requests` | the request taxonomy (`REQUEST_KINDS`) |
-//! | `POST /query` | one [`AnalysisRequest`] as JSON → its result |
-//! | `POST /batch` | a JSON array of requests → array of results |
-//! | `POST /shutdown` | acknowledges, then stops the server |
+//! | `GET /v1/healthz` | liveness + registry + SLO standings |
+//! | `GET /v1/metrics` | Prometheus text exposition of the live registry |
+//! | `GET /v1/requests` | the request taxonomy (`REQUEST_KINDS`) |
+//! | `GET /v1/traces` | every registered trace's summary row |
+//! | `POST /v1/traces/{name}` | upload CSV or `.hpcsnap` into a slot |
+//! | `GET /v1/traces/{name}` | one trace's summary |
+//! | `DELETE /v1/traces/{name}` | evict a trace |
+//! | `POST /v1/traces/{name}/query` | one [`AnalysisRequest`] → its result |
+//! | `POST /v1/traces/{name}/batch` | a JSON array of requests → results |
+//! | `POST /v1/shutdown` | acknowledges, then stops the server |
 //!
-//! A `/query` response body is **exactly**
+//! The legacy unversioned endpoints (`/query`, `/batch`, `/healthz`,
+//! `/metrics`, `/requests`, `/shutdown`) keep answering — analysis
+//! runs against the `default` trace — with `x-api-deprecated: true`
+//! on every response and a `"deprecation": true` field in the
+//! extensible control bodies (never in `/query`/`/batch` payloads,
+//! whose bytes are contractual).
+//!
+//! A query response body is **exactly**
 //! `engine.run(&request).to_json().pretty()` — byte-identical to an
-//! in-process call — with the serving metadata (`x-cache`,
-//! `x-degraded`, `x-trace-id`) in headers so it can never perturb the
-//! payload.
+//! in-process call against that trace's pinned epoch — with the
+//! serving metadata (`x-cache`, `x-degraded`, `x-trace-id`) in headers
+//! so it can never perturb the payload. Re-uploading a name mid-query
+//! is safe: the query finishes against the epoch it resolved.
 //!
 //! ## Request-scoped observability
 //!
@@ -45,10 +59,18 @@ use crate::chaos::{ChaosAction, ChaosConfig, ChaosEngine, ChaosPoint};
 use crate::coalesce::{Claim, Coalescer};
 use crate::http::{self, Request};
 use crate::metrics;
+use crate::registry::{
+    self, ResolvedTrace, TraceRegistry, TraceSource, TraceSummary, DEFAULT_TRACE,
+};
+use crate::routes::{self, Endpoint, Routed};
 use crate::slo::{SloPolicy, SloTracker};
 use hpcfail_core::engine::{AnalysisRequest, Engine, REQUEST_KINDS};
 use hpcfail_obs::json::Json;
 use hpcfail_obs::TraceRecording;
+use hpcfail_store::ingest::IngestPolicy;
+use hpcfail_store::lanl::{assemble_trace, read_lanl_failures_with, LanlImportOptions};
+use hpcfail_store::snapshot::{decode_snapshot, SNAPSHOT_MAGIC};
+use hpcfail_store::trace::Trace;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -72,13 +94,16 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Deadline applied when the client sends no `x-deadline-ms`.
     pub default_deadline_ms: u64,
+    /// Registry warm-residency budget in bytes; 0 = unlimited. Over
+    /// budget, least-recently-queried traces demote to cold snapshots.
+    pub max_resident_bytes: u64,
     /// Write a JSONL access log here (size-capped, one `.1` rotation).
     pub access_log: Option<PathBuf>,
     /// Rotation threshold for the access log, bytes.
     pub access_log_max_bytes: u64,
     /// The SLO budgets `/healthz` and `/metrics` evaluate against.
     pub slo: SloPolicy,
-    /// The admission gate in front of `/query` and `/batch`
+    /// The admission gate in front of analysis and upload endpoints
     /// (`/healthz`, `/metrics`, `/requests` and `/shutdown` never pass
     /// through it). The default gate is disabled (`max_inflight: 0`).
     pub admission: AdmissionConfig,
@@ -99,6 +124,7 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             read_timeout: Duration::from_secs(30),
             default_deadline_ms: 10_000,
+            max_resident_bytes: 0,
             access_log: None,
             access_log_max_bytes: DEFAULT_MAX_BYTES,
             slo: SloPolicy::default(),
@@ -110,7 +136,7 @@ impl Default for ServerConfig {
 }
 
 struct Shared {
-    engine: Engine,
+    registry: Arc<TraceRegistry>,
     cache: ResultCache,
     coalescer: Coalescer,
     shutdown: AtomicBool,
@@ -137,9 +163,17 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The engine the server answers from.
-    pub fn engine(&self) -> &Engine {
-        &self.shared.engine
+    /// The trace registry the server answers from.
+    pub fn registry(&self) -> &Arc<TraceRegistry> {
+        &self.shared.registry
+    }
+
+    /// The `default` trace's current engine, when one is registered.
+    pub fn engine(&self) -> Option<Arc<Engine>> {
+        self.shared
+            .registry
+            .resolve(DEFAULT_TRACE)
+            .map(|resolved| resolved.engine)
     }
 
     /// Requests currently being handled (the live `serve_inflight`
@@ -160,7 +194,7 @@ impl ServerHandle {
 
     /// Stops accepting, unblocks the workers and joins them. Queued
     /// admissions shed with a typed `503 draining`; admitted requests
-    /// finish first.
+    /// (in-progress uploads included) finish first.
     pub fn shutdown(mut self) {
         self.shared.gate.begin_drain();
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -175,12 +209,29 @@ impl ServerHandle {
     }
 }
 
-/// Binds `config.addr` and spawns the worker pool.
+/// Binds `config.addr` and spawns the worker pool with `engine`
+/// registered as the `default` trace.
 ///
 /// # Errors
 ///
 /// I/O errors binding the listener or opening the access log.
 pub fn spawn(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
+    let registry = TraceRegistry::new(config.max_resident_bytes);
+    registry.insert_engine(DEFAULT_TRACE, Arc::new(engine), TraceSource::Boot);
+    spawn_with_registry(registry, config)
+}
+
+/// Binds `config.addr` and spawns the worker pool over an existing
+/// registry — empty (`--empty`: every trace arrives by upload) or
+/// pre-seeded with any number of named traces.
+///
+/// # Errors
+///
+/// I/O errors binding the listener or opening the access log.
+pub fn spawn_with_registry(
+    registry: TraceRegistry,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let access_log = match &config.access_log {
@@ -188,7 +239,7 @@ pub fn spawn(engine: Engine, config: ServerConfig) -> io::Result<ServerHandle> {
         None => None,
     };
     let shared = Arc::new(Shared {
-        engine,
+        registry: Arc::new(registry),
         cache: ResultCache::new(config.cache_capacity),
         coalescer: Coalescer::new(),
         shutdown: AtomicBool::new(false),
@@ -255,7 +306,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let request = match http::read_request(&mut reader) {
+        // Only trace uploads get the enlarged body limit; everything
+        // else keeps the original cap with its immediate typed 413.
+        let limit = |method: &str, path: &str| match routes::resolve(method, path) {
+            Routed::Matched(m) if m.endpoint == Endpoint::TraceUpload => http::MAX_UPLOAD_BODY,
+            _ => http::MAX_BODY,
+        };
+        let request = match http::read_request_with_limit(&mut reader, limit) {
             Ok(Some(request)) => request,
             Ok(None) => return,
             Err(err) => {
@@ -405,16 +462,21 @@ fn respond(
     trace.attr("path", &request.path);
     let trace_hex = trace.trace_id_hex();
 
+    let routed = routes::resolve(&request.method, &request.path);
+    let legacy = matches!(&routed, Routed::Matched(m) if m.legacy);
+    let analysis = matches!(&routed, Routed::Matched(m) if m.endpoint.is_analysis());
+
     let inflight = InflightGuard::enter(shared);
-    let reply = catch_unwind(AssertUnwindSafe(|| route(request, shared))).unwrap_or_else(|_| {
-        Reply::error(
-            500,
-            "Internal Server Error",
-            "handler panicked; see server logs",
-            false,
-            "panic",
-        )
-    });
+    let reply =
+        catch_unwind(AssertUnwindSafe(|| route(request, &routed, shared))).unwrap_or_else(|_| {
+            Reply::error(
+                500,
+                "Internal Server Error",
+                "handler panicked; see server logs",
+                false,
+                "panic",
+            )
+        });
     drop(inflight);
 
     trace.attr("kind", &reply.kind);
@@ -454,6 +516,11 @@ fn respond(
     };
 
     let mut headers: Vec<(&str, &str)> = vec![("x-trace-id", &trace_hex)];
+    // Every legacy-surface response carries the deprecation header;
+    // analysis bodies stay byte-identical, so the signal lives here.
+    if legacy {
+        headers.push(("x-api-deprecated", "true"));
+    }
     if let Some(cache) = cache {
         headers.push(("x-cache", cache));
     }
@@ -465,7 +532,7 @@ fn respond(
     // The respond chaos point applies only to analysis traffic —
     // injecting into /healthz or /metrics would blind the observer.
     let mut dropped = false;
-    if request.path == "/query" || request.path == "/batch" {
+    if analysis {
         if let Some(chaos) = &shared.chaos {
             match chaos.decide(ChaosPoint::Respond) {
                 Some(ChaosAction::Delay(delay)) => std::thread::sleep(delay),
@@ -521,25 +588,32 @@ fn record_telemetry(shared: &Shared, kind: &str, status: u16, latency_ns: u64) {
     shared.slo.record(kind, latency_ns, status >= 500);
 }
 
-/// Routes one request to its endpoint.
-fn route(request: &Request, shared: &Shared) -> Reply {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let slo = shared.slo.report();
-            let body = Json::obj([
-                (
-                    "status",
-                    Json::Str(if slo.healthy { "ok" } else { "degraded" }.to_owned()),
+/// Dispatches one resolved route to its endpoint handler.
+fn route(request: &Request, routed: &Routed, shared: &Shared) -> Reply {
+    let matched = match routed {
+        Routed::Matched(matched) => matched,
+        Routed::MethodNotAllowed(allowed) => {
+            let mut reply = Reply::error(
+                405,
+                "Method Not Allowed",
+                &format!(
+                    "method not allowed for this path (allow: {})",
+                    allowed.join(", ")
                 ),
-                ("fingerprint", Json::Str(shared.engine.fingerprint_hex())),
-                ("systems", Json::Num(shared.engine.trace().len() as f64)),
-                ("slo", slo.to_json()),
-                ("admission", shared.gate.to_json()),
-            ])
-            .pretty();
-            Reply::ok(body, "healthz")
+                false,
+                "other",
+            );
+            reply.headers.push(("allow", allowed.join(", ")));
+            return reply;
         }
-        ("GET", "/metrics") => {
+        Routed::NotFound => {
+            return Reply::error(404, "Not Found", routes::KNOWN_PATHS_HINT, false, "other")
+        }
+    };
+    let trace_name = matched.trace.as_deref().unwrap_or(DEFAULT_TRACE);
+    match matched.endpoint {
+        Endpoint::Healthz => handle_healthz(shared, matched.legacy),
+        Endpoint::Metrics => {
             let body = metrics::render(
                 &hpcfail_obs::snapshot(),
                 &shared.slo.report(),
@@ -552,8 +626,8 @@ fn route(request: &Request, shared: &Shared) -> Reply {
             ));
             reply
         }
-        ("GET", "/requests") => {
-            let body = Json::obj([(
+        Endpoint::Requests => {
+            let mut fields = vec![(
                 "kinds",
                 Json::Arr(
                     REQUEST_KINDS
@@ -561,40 +635,222 @@ fn route(request: &Request, shared: &Shared) -> Reply {
                         .map(|k| Json::Str((*k).to_owned()))
                         .collect(),
                 ),
-            )])
-            .pretty();
-            Reply::ok(body, "requests")
+            )];
+            if matched.legacy {
+                fields.push(("deprecation", Json::Bool(true)));
+            }
+            Reply::ok(Json::obj(fields).pretty(), "requests")
         }
-        ("POST", "/shutdown") => {
+        Endpoint::Shutdown => {
             shared.gate.begin_drain();
             shared.shutdown.store(true, Ordering::SeqCst);
-            let body = Json::obj([("status", Json::Str("shutting down".to_owned()))]).pretty();
-            let mut reply = Reply::ok(body, "shutdown");
+            let mut fields = vec![("status", Json::Str("shutting down".to_owned()))];
+            if matched.legacy {
+                fields.push(("deprecation", Json::Bool(true)));
+            }
+            let mut reply = Reply::ok(Json::obj(fields).pretty(), "shutdown");
             reply.force_close = true;
             reply
         }
-        ("POST", "/query") => handle_query(request, shared),
-        ("POST", "/batch") => handle_batch(request, shared),
-        (_, "/healthz" | "/metrics" | "/requests" | "/shutdown" | "/query" | "/batch") => {
-            Reply::error(
-                405,
-                "Method Not Allowed",
-                "method not allowed for this path",
-                false,
-                "other",
-            )
+        Endpoint::Query => handle_query(request, trace_name, shared),
+        Endpoint::Batch => handle_batch(request, trace_name, shared),
+        Endpoint::TraceList => {
+            let rows = shared
+                .registry
+                .list()
+                .iter()
+                .map(TraceSummary::to_json)
+                .collect();
+            let body = Json::obj([
+                ("traces", Json::Arr(rows)),
+                (
+                    "resident_bytes",
+                    Json::Num(shared.registry.resident_bytes() as f64),
+                ),
+                (
+                    "max_resident_bytes",
+                    Json::Num(shared.registry.max_resident_bytes() as f64),
+                ),
+            ])
+            .pretty();
+            Reply::ok(body, "traces")
         }
-        _ => Reply::error(
-            404,
-            "Not Found",
-            "unknown path; try /healthz, /metrics, /requests, /query, /batch, /shutdown",
-            false,
-            "other",
-        ),
+        Endpoint::TraceUpload => handle_upload(request, trace_name, shared),
+        Endpoint::TraceShow => match shared.registry.summary(trace_name) {
+            Some(summary) => {
+                Reply::ok(Json::obj([("trace", summary.to_json())]).pretty(), "traces")
+            }
+            None => Reply::error(
+                404,
+                "Not Found",
+                &format!("no trace named {trace_name:?} is registered"),
+                false,
+                "traces",
+            ),
+        },
+        Endpoint::TraceDelete => match shared.registry.remove(trace_name) {
+            Some(summary) => Reply::ok(
+                Json::obj([("evicted", summary.to_json())]).pretty(),
+                "traces",
+            ),
+            None => Reply::error(
+                404,
+                "Not Found",
+                &format!("no trace named {trace_name:?} is registered"),
+                false,
+                "traces",
+            ),
+        },
     }
 }
 
-fn handle_query(request: &Request, shared: &Shared) -> Reply {
+fn handle_healthz(shared: &Shared, legacy: bool) -> Reply {
+    let slo = shared.slo.report();
+    let mut fields = vec![(
+        "status",
+        Json::Str(if slo.healthy { "ok" } else { "degraded" }.to_owned()),
+    )];
+    // The default trace's identity stays at the top level so existing
+    // health checks keep working across the registry migration.
+    if let Some(default) = shared.registry.summary(DEFAULT_TRACE) {
+        fields.push((
+            "fingerprint",
+            Json::Str(format!("{:016x}", default.fingerprint)),
+        ));
+        fields.push(("systems", Json::Num(default.systems as f64)));
+    }
+    fields.push(("traces", Json::Num(shared.registry.len() as f64)));
+    fields.push((
+        "resident_bytes",
+        Json::Num(shared.registry.resident_bytes() as f64),
+    ));
+    fields.push(("slo", slo.to_json()));
+    fields.push(("admission", shared.gate.to_json()));
+    if legacy {
+        fields.push(("deprecation", Json::Bool(true)));
+    }
+    Reply::ok(Json::obj(fields).pretty(), "healthz")
+}
+
+/// Parses and registers one uploaded trace body. Uploads are admitted
+/// as [`CostClass::Expensive`] work *before* the heavy parse: a
+/// draining server sheds them with a typed 503 instead of accepting
+/// data it will never serve, and an admitted upload holds its permit so
+/// shutdown waits for it to land (or cancel) cleanly.
+fn handle_upload(request: &Request, name: &str, shared: &Shared) -> Reply {
+    if !registry::valid_name(name) {
+        return Reply::error(
+            400,
+            "Bad Request",
+            "invalid trace name: want 1-64 ASCII alphanumeric, '_', '-' or '.' characters, \
+             not starting with a dot",
+            false,
+            "upload",
+        );
+    }
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
+    if let Some(reply) = chaos_admission(shared, CostClass::Expensive, "upload") {
+        return reply;
+    }
+    let _permit = match shared.gate.admit(CostClass::Expensive, deadline) {
+        Ok(permit) => permit,
+        Err(reason) => return Reply::shed(reason, shared.gate.config().retry_after_ms, "upload"),
+    };
+    if let Some(reply) = chaos_engine_point(shared, "upload") {
+        return reply;
+    }
+    if request.body.is_empty() {
+        return Reply::error(
+            400,
+            "Bad Request",
+            "empty upload body (expected LANL-style CSV or a .hpcsnap snapshot)",
+            false,
+            "upload",
+        );
+    }
+    let (trace, source, ingest) = if request.body.starts_with(SNAPSHOT_MAGIC) {
+        match decode_snapshot(&request.body) {
+            Ok(trace) => (trace, TraceSource::Snapshot, None),
+            Err(err) => {
+                return Reply::error(
+                    400,
+                    "Bad Request",
+                    &format!("malformed snapshot: {err}"),
+                    false,
+                    "upload",
+                )
+            }
+        }
+    } else {
+        match parse_csv_upload(request, name) {
+            Ok((trace, ingest)) => (trace, TraceSource::Csv, Some(ingest)),
+            Err(reply) => return *reply,
+        }
+    };
+    let summary = shared.registry.insert(name, trace, source);
+    let mut fields = vec![("trace", summary.to_json())];
+    if let Some(ingest) = ingest {
+        fields.push(("ingest", ingest));
+    }
+    Reply::ok(Json::obj(fields).pretty(), "upload")
+}
+
+/// Runs a CSV upload body through the quarantine/audit ingest
+/// machinery under the client's `x-ingest-policy` (default `lenient`).
+fn parse_csv_upload(request: &Request, name: &str) -> Result<(Trace, Json), Box<Reply>> {
+    let policy = match request.header("x-ingest-policy") {
+        Some(raw) => raw.parse::<IngestPolicy>().map_err(|message| {
+            Box::new(Reply::error(400, "Bad Request", &message, false, "upload"))
+        })?,
+        None => IngestPolicy::Lenient,
+    };
+    let file = format!("upload:{name}");
+    let read = read_lanl_failures_with(
+        request.body.as_slice(),
+        &file,
+        LanlImportOptions::default(),
+        policy,
+    )
+    .map_err(|err| {
+        Box::new(Reply::error(
+            400,
+            "Bad Request",
+            &format!("CSV rejected: {err}"),
+            false,
+            "upload",
+        ))
+    })?;
+    if read.records.is_empty() {
+        return Err(Box::new(Reply::error(
+            400,
+            "Bad Request",
+            &format!(
+                "no usable rows ({} quarantined); nothing to register",
+                read.quarantined.len()
+            ),
+            false,
+            "upload",
+        )));
+    }
+    let ingest = Json::obj([
+        ("rows_ok", Json::Num(read.records.len() as f64)),
+        ("quarantined", Json::Num(read.quarantined.len() as f64)),
+        ("defaulted_fields", Json::Num(read.defaulted_fields as f64)),
+        ("duplicates", Json::Num(read.duplicates as f64)),
+        ("policy", Json::Str(policy_label(policy).to_owned())),
+    ]);
+    Ok((assemble_trace(read.records, &[]), ingest))
+}
+
+fn policy_label(policy: IngestPolicy) -> &'static str {
+    match policy {
+        IngestPolicy::Strict => "strict",
+        IngestPolicy::Lenient => "lenient",
+        IngestPolicy::BestEffort => "best-effort",
+    }
+}
+
+fn handle_query(request: &Request, trace_name: &str, shared: &Shared) -> Reply {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
@@ -617,11 +873,28 @@ fn handle_query(request: &Request, shared: &Shared) -> Reply {
     if shared.inject_panic_kind.as_deref() == Some(kind) {
         panic!("injected panic for analysis kind {kind}");
     }
+    // Resolving pins this request to the name's current epoch: the
+    // engine Arc stays alive through the whole answer even if an
+    // upload swaps or an eviction demotes the slot mid-flight.
+    let Some(resolved) = shared.registry.resolve(trace_name) else {
+        return Reply::error(
+            404,
+            "Not Found",
+            &format!("no trace named {trace_name:?} is registered"),
+            false,
+            kind,
+        );
+    };
+    hpcfail_obs::counter(&format!("serve.trace.{trace_name}.requests")).inc();
     let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
 
     // A warm cache entry makes the request cheap: admission peeks at
     // the cache (bumping recency is fine — the hit is about to serve).
-    let key: CacheKey = (shared.engine.fingerprint(), parsed.canonical());
+    let key: CacheKey = (
+        trace_name.to_owned(),
+        resolved.fingerprint,
+        parsed.canonical(),
+    );
     let class = if shared.cache.get(&key).is_some() {
         CostClass::Cheap
     } else {
@@ -637,7 +910,7 @@ fn handle_query(request: &Request, shared: &Shared) -> Reply {
     if let Some(reply) = chaos_engine_point(shared, kind) {
         return reply;
     }
-    match answer(&parsed, shared, deadline) {
+    match answer(&parsed, trace_name, &resolved, shared, deadline) {
         Answer::Fresh(body) => {
             hpcfail_obs::counter("serve.cache.miss").inc();
             let mut reply = Reply::ok((*body).clone(), kind);
@@ -674,7 +947,7 @@ fn handle_query(request: &Request, shared: &Shared) -> Reply {
     }
 }
 
-fn handle_batch(request: &Request, shared: &Shared) -> Reply {
+fn handle_batch(request: &Request, trace_name: &str, shared: &Shared) -> Reply {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
         Err(_) => {
@@ -723,6 +996,19 @@ fn handle_batch(request: &Request, shared: &Shared) -> Reply {
             }
         }
     }
+    // One resolution pins the whole batch to one epoch: every element
+    // answers against the same snapshot of the data, even if an upload
+    // swaps the name between items.
+    let Some(resolved) = shared.registry.resolve(trace_name) else {
+        return Reply::error(
+            404,
+            "Not Found",
+            &format!("no trace named {trace_name:?} is registered"),
+            false,
+            "batch",
+        );
+    };
+    hpcfail_obs::counter(&format!("serve.trace.{trace_name}.requests")).inc();
     let deadline = Instant::now() + Duration::from_millis(deadline_ms(request, shared));
     if let Some(reply) = chaos_admission(shared, CostClass::Batch, "batch") {
         return reply;
@@ -738,7 +1024,7 @@ fn handle_batch(request: &Request, shared: &Shared) -> Reply {
     }
     let mut bodies = Vec::with_capacity(parsed.len());
     for item in &parsed {
-        match answer(item, shared, deadline) {
+        match answer(item, trace_name, &resolved, shared, deadline) {
             Answer::Fresh(body) => {
                 hpcfail_obs::counter("serve.cache.miss").inc();
                 bodies.push(Json::Str((*body).clone()));
@@ -787,8 +1073,22 @@ enum Answer {
     Failed(String),
 }
 
-fn answer(request: &AnalysisRequest, shared: &Shared, deadline: Instant) -> Answer {
-    let key: CacheKey = (shared.engine.fingerprint(), request.canonical());
+fn answer(
+    request: &AnalysisRequest,
+    trace_name: &str,
+    resolved: &ResolvedTrace,
+    shared: &Shared,
+    deadline: Instant,
+) -> Answer {
+    // The key carries the *epoch fingerprint*, not just the name: a
+    // re-uploaded trace with different data can never serve a
+    // predecessor's cached bytes, while re-uploading identical data
+    // keeps the warm entries.
+    let key: CacheKey = (
+        trace_name.to_owned(),
+        resolved.fingerprint,
+        request.canonical(),
+    );
     if let Some(body) = shared.cache.get(&key) {
         return Answer::Cached(body);
     }
@@ -798,9 +1098,9 @@ fn answer(request: &AnalysisRequest, shared: &Shared, deadline: Instant) -> Answ
             let span = hpcfail_obs::span(&span_name);
             span.attr("kind", request.kind());
             let computed = catch_unwind(AssertUnwindSafe(|| {
-                Arc::new(shared.engine.run(request).to_json().pretty())
+                Arc::new(resolved.engine.run(request).to_json().pretty())
             }));
-            drop(span);
+            let _ = span;
             match computed {
                 Ok(body) => {
                     shared.cache.put(key, Arc::clone(&body));

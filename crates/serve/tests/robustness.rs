@@ -8,8 +8,9 @@ use hpcfail_core::engine::Engine;
 use hpcfail_serve::admission::{AdmissionConfig, ShedPolicy, ShedReason};
 use hpcfail_serve::chaos::ChaosConfig;
 use hpcfail_serve::client::Client;
+use hpcfail_serve::registry::TraceRegistry;
 use hpcfail_serve::retry::{RetryPolicy, RetryingClient};
-use hpcfail_serve::server::{spawn, ServerConfig};
+use hpcfail_serve::server::{spawn, spawn_with_registry, ServerConfig};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -287,6 +288,98 @@ fn shutdown_under_load_drains_admitted_and_sheds_queued() {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(handle.inflight(), 0, "inflight gauge fully decremented");
+    assert_eq!(handle.admission().inflight(), 0, "no permit leaked");
+    handle.shutdown(); // joins all workers; must not hang
+}
+
+/// Shutdown while an upload is mid-parse: uploads are admitted as
+/// `Expensive`-class work *before* the heavy parse, so draining waits
+/// for the in-progress upload to land (200, trace registered) while
+/// work arriving after the drain began sheds with a typed
+/// `503 draining`. No upload is half-registered or silently dropped.
+#[test]
+fn shutdown_waits_for_in_progress_upload_and_sheds_late_ones() {
+    // One engine-point stall pins the upload after it holds its permit.
+    let chaos = ChaosConfig::parse(
+        r#"{
+          "seed": 9,
+          "rules": [
+            {"point": "engine", "fault": "stall", "probability": 1.0, "ms": 800, "max": 1}
+          ]
+        }"#,
+    )
+    .expect("chaos spec");
+    let handle = spawn_with_registry(
+        TraceRegistry::new(0),
+        ServerConfig {
+            workers: 6,
+            admission: AdmissionConfig {
+                max_inflight: 1,
+                max_queued: 4,
+                policy: ShedPolicy::Brownout,
+                retry_after_ms: 10,
+            },
+            chaos: Some(chaos),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr().to_string();
+
+    let snapshot = hpcfail_store::snapshot::snapshot_bytes(
+        &hpcfail_synth::FleetSpec::demo().generate(7).into_store(),
+    );
+    let uploading = std::thread::spawn({
+        let addr = addr.clone();
+        let snapshot = snapshot.clone();
+        move || {
+            Client::new(addr)
+                .post_bytes("/v1/traces/landing", &snapshot, &[])
+                .expect("admitted upload")
+        }
+    });
+    // Let the upload claim the only permit and hit the stall, then
+    // queue a second upload behind it.
+    std::thread::sleep(Duration::from_millis(200));
+    let queued = std::thread::spawn({
+        let addr = addr.clone();
+        let snapshot = snapshot.clone();
+        move || {
+            Client::new(addr)
+                .post_bytes("/v1/traces/too-late", &snapshot, &[])
+                .expect("queued upload round trip")
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while handle.admission().queued() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.admission().queued(), 1, "second upload queued");
+
+    let bye = Client::new(addr)
+        .post("/v1/shutdown", "", &[])
+        .expect("ack");
+    assert_eq!(bye.status, 200);
+
+    // The queued upload sheds with a typed 503 instead of landing.
+    let late = queued.join().expect("queued thread");
+    assert_eq!(late.status, 503, "body: {}", late.body);
+    assert_eq!(late.header("x-shed"), Some("draining"));
+
+    // The admitted upload drains to completion and is registered.
+    let landed = uploading.join().expect("upload thread");
+    assert_eq!(landed.status, 200, "body: {}", landed.body);
+    assert!(
+        landed.body.contains("\"name\": \"landing\""),
+        "{}",
+        landed.body
+    );
+    assert!(handle.registry().contains("landing"), "upload landed");
+    assert!(
+        !handle.registry().contains("too-late"),
+        "shed upload did not register"
+    );
+
     assert_eq!(handle.admission().inflight(), 0, "no permit leaked");
     handle.shutdown(); // joins all workers; must not hang
 }

@@ -393,7 +393,7 @@ fn deadline_header_degrades_instead_of_blocking() {
     use hpcfail_serve::coalesce::{Claim, Coalescer};
 
     let coalescer = Coalescer::new();
-    let key = (1u64, "q".to_owned());
+    let key = ("default".to_owned(), 1u64, "q".to_owned());
     let _leader = match coalescer.claim(&key) {
         Claim::Leader(guard) => guard,
         Claim::Follower(_) => panic!("fresh key must lead"),

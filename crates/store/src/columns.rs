@@ -369,6 +369,20 @@ impl FailureColumns {
         self.node_class_mask = mask;
     }
 
+    /// Heap bytes held by the column arrays (primary storage plus the
+    /// derived day column and postings index).
+    pub fn resident_bytes(&self) -> u64 {
+        (std::mem::size_of_val(self.times.as_slice())
+            + std::mem::size_of_val(self.nodes.as_slice())
+            + std::mem::size_of_val(self.roots.as_slice())
+            + std::mem::size_of_val(self.subs.as_slice())
+            + std::mem::size_of_val(self.downtimes.as_slice())
+            + std::mem::size_of_val(self.days.as_slice())
+            + std::mem::size_of_val(self.node_ptr.as_slice())
+            + std::mem::size_of_val(self.node_post.as_slice())
+            + std::mem::size_of_val(self.node_class_mask.as_slice())) as u64
+    }
+
     /// Number of failure events.
     pub fn len(&self) -> usize {
         self.times.len()
@@ -593,6 +607,15 @@ impl MaintenanceColumns {
             node_ptr: counts,
             node_post: post,
         }
+    }
+
+    /// Heap bytes held by the maintenance column arrays.
+    pub fn resident_bytes(&self) -> u64 {
+        (std::mem::size_of_val(self.times.as_slice())
+            + std::mem::size_of_val(self.unsched_hw.as_slice())
+            + std::mem::size_of_val(self.days.as_slice())
+            + std::mem::size_of_val(self.node_ptr.as_slice())
+            + std::mem::size_of_val(self.node_post.as_slice())) as u64
     }
 
     /// Event indices for `node`, in time order.

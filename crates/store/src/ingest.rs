@@ -201,7 +201,7 @@ pub struct FileRead<T> {
 }
 
 impl<T> FileRead<T> {
-    fn quarantine(&mut self, file: &str, line: usize, message: String, raw: &[u8]) {
+    pub(crate) fn quarantine(&mut self, file: &str, line: usize, message: String, raw: &[u8]) {
         let mut snippet = String::from_utf8_lossy(raw).into_owned();
         if snippet.len() > RAW_SNIPPET_BYTES {
             let mut cut = RAW_SNIPPET_BYTES;

@@ -25,6 +25,7 @@
 //! (default 1996-01-01, the start of the LANL observation period).
 
 use crate::csv::CsvError;
+use crate::ingest::{FileRead, IngestPolicy};
 use hpcfail_types::prelude::*;
 use std::io::{BufRead, BufReader, Read};
 
@@ -186,6 +187,120 @@ pub fn map_sub_cause(root: RootCause, label: &str) -> SubCause {
     }
 }
 
+/// Column positions located from a LANL header row, plus the epoch
+/// offset — everything needed to parse data rows.
+struct LanlLayout {
+    c_system: usize,
+    c_node: usize,
+    c_start: usize,
+    c_fixed: Option<usize>,
+    c_cause: usize,
+    c_sub: Option<usize>,
+    epoch_secs: i64,
+}
+
+impl LanlLayout {
+    fn from_header(header: &str, options: LanlImportOptions) -> Result<Self, CsvError> {
+        let columns: Vec<String> = header
+            .split(',')
+            .map(|h| h.trim().to_ascii_lowercase())
+            .collect();
+        let col = |names: &[&str]| -> Result<usize, CsvError> {
+            names
+                .iter()
+                .find_map(|n| columns.iter().position(|c| c == n))
+                .ok_or_else(|| CsvError::Parse {
+                    line: 1,
+                    message: format!("missing column (one of {names:?}) in header {header:?}"),
+                })
+        };
+        let (ey, em, ed) = options.epoch;
+        Ok(LanlLayout {
+            c_system: col(&["system", "sys"])?,
+            c_node: col(&["nodenum", "node", "nodenumz"])?,
+            c_start: col(&["prob started", "prob_started", "started", "start time"])?,
+            c_fixed: col(&["prob fixed", "prob_fixed", "fixed", "end time"]).ok(),
+            c_cause: col(&["cause", "root cause", "category"])?,
+            c_sub: col(&["subcause", "sub cause", "subcategory", "component"]).ok(),
+            epoch_secs: days_from_civil(ey, em, ed) * 86_400,
+        })
+    }
+
+    /// Parses one data row. `relaxed` applies the `BestEffort`
+    /// conventions: an unknown root cause becomes `Undetermined` and a
+    /// malformed repair timestamp becomes a missing downtime, each
+    /// counted in the returned defaulted-field tally.
+    fn parse_line(
+        &self,
+        line: &str,
+        lineno: usize,
+        relaxed: bool,
+    ) -> Result<(FailureRecord, u32), CsvError> {
+        let fields: Vec<&str> = line.split(',').collect();
+        let get = |i: usize, what: &str| -> Result<&str, CsvError> {
+            fields.get(i).copied().ok_or_else(|| CsvError::Parse {
+                line: lineno,
+                message: format!("row too short for {what}"),
+            })
+        };
+        let parse_err = |message: String| CsvError::Parse {
+            line: lineno,
+            message,
+        };
+        let mut defaulted = 0u32;
+
+        let system: u16 = get(self.c_system, "system")?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(format!("bad system {:?}", fields[self.c_system])))?;
+        let node: u32 = get(self.c_node, "node")?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(format!("bad node {:?}", fields[self.c_node])))?;
+        let start =
+            parse_lanl_datetime(get(self.c_start, "start")?).map_err(&parse_err)? - self.epoch_secs;
+        let cause_label = get(self.c_cause, "cause")?;
+        let root = match map_root_cause(cause_label) {
+            Some(root) => root,
+            None if relaxed => {
+                defaulted += 1;
+                RootCause::Undetermined
+            }
+            None => return Err(parse_err(format!("unknown root cause {cause_label:?}"))),
+        };
+        let sub = match self.c_sub {
+            Some(i) => map_sub_cause(root, fields.get(i).copied().unwrap_or("")),
+            None => SubCause::None,
+        };
+        let mut record = FailureRecord::new(
+            SystemId::new(system),
+            NodeId::new(node),
+            Timestamp::from_seconds(start),
+            root,
+            sub,
+        );
+        if let Some(i) = self.c_fixed {
+            let raw = fields.get(i).copied().unwrap_or("").trim().to_owned();
+            if !raw.is_empty() {
+                match parse_lanl_datetime(&raw) {
+                    Ok(t) => {
+                        let fixed = t - self.epoch_secs;
+                        if fixed >= start {
+                            record = record.with_downtime(Duration::from_seconds(fixed - start));
+                        }
+                    }
+                    Err(e) if relaxed => {
+                        let _ = e;
+                        defaulted += 1;
+                    }
+                    Err(e) => return Err(parse_err(e)),
+                }
+            }
+        }
+        Ok((record, defaulted))
+    }
+}
+
 /// Reads CFDR-style LANL failure records.
 ///
 /// Rows with unknown root causes or malformed timestamps are rejected
@@ -198,90 +313,76 @@ pub fn read_lanl_failures<R: Read>(
     r: R,
     options: LanlImportOptions,
 ) -> Result<Vec<FailureRecord>, CsvError> {
+    let read = read_lanl_failures_with(r, "lanl.csv", options, IngestPolicy::Strict)?;
+    Ok(read.records)
+}
+
+/// Reads CFDR-style LANL failure records under an ingestion policy,
+/// routing malformed rows through the same quarantine/audit machinery
+/// as the native readers ([`crate::ingest`]): under
+/// [`IngestPolicy::Lenient`] bad rows are set aside as
+/// [`QuarantinedLine`](crate::ingest::QuarantinedLine)s and consecutive
+/// exact duplicates dropped; under [`IngestPolicy::BestEffort`] unknown
+/// root causes default to `Undetermined` and malformed repair
+/// timestamps to a missing downtime before a row is given up on.
+///
+/// # Errors
+///
+/// I/O failures and a missing/defective header row always; per-row
+/// parse failures only under [`IngestPolicy::Strict`].
+pub fn read_lanl_failures_with<R: Read>(
+    r: R,
+    file: &str,
+    options: LanlImportOptions,
+    policy: IngestPolicy,
+) -> Result<FileRead<FailureRecord>, CsvError> {
     let mut lines = BufReader::new(r).lines().enumerate();
-    // Header: locate the columns we need.
     let (_, header) = lines.next().ok_or_else(|| CsvError::Parse {
         line: 1,
         message: "empty file".into(),
     })?;
-    let header = header?;
-    let columns: Vec<String> = header
-        .split(',')
-        .map(|h| h.trim().to_ascii_lowercase())
-        .collect();
-    let col = |names: &[&str]| -> Result<usize, CsvError> {
-        names
-            .iter()
-            .find_map(|n| columns.iter().position(|c| c == n))
-            .ok_or_else(|| CsvError::Parse {
-                line: 1,
-                message: format!("missing column (one of {names:?}) in header {header:?}"),
-            })
+    let layout = LanlLayout::from_header(&header?, options)?;
+    let relaxed = matches!(policy, IngestPolicy::BestEffort);
+
+    let mut out = FileRead {
+        records: Vec::new(),
+        quarantined: Vec::new(),
+        defaulted_fields: 0,
+        duplicates: 0,
     };
-    let c_system = col(&["system", "sys"])?;
-    let c_node = col(&["nodenum", "node", "nodenumz"])?;
-    let c_start = col(&["prob started", "prob_started", "started", "start time"])?;
-    let c_fixed = col(&["prob fixed", "prob_fixed", "fixed", "end time"]).ok();
-    let c_cause = col(&["cause", "root cause", "category"])?;
-    let c_sub = col(&["subcause", "sub cause", "subcategory", "component"]).ok();
-
-    let (ey, em, ed) = options.epoch;
-    let epoch_secs = days_from_civil(ey, em, ed) * 86_400;
-
-    let mut out = Vec::new();
     for (idx, line) in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let lineno = idx + 1;
-        let fields: Vec<&str> = line.split(',').collect();
-        let get = |i: usize, what: &str| -> Result<&str, CsvError> {
-            fields.get(i).copied().ok_or_else(|| CsvError::Parse {
-                line: lineno,
-                message: format!("row too short for {what}"),
-            })
-        };
-        let parse_err = |message: String| CsvError::Parse {
-            line: lineno,
-            message,
-        };
-
-        let system: u16 = get(c_system, "system")?
-            .trim()
-            .parse()
-            .map_err(|_| parse_err(format!("bad system {:?}", fields[c_system])))?;
-        let node: u32 = get(c_node, "node")?
-            .trim()
-            .parse()
-            .map_err(|_| parse_err(format!("bad node {:?}", fields[c_node])))?;
-        let start = parse_lanl_datetime(get(c_start, "start")?).map_err(&parse_err)? - epoch_secs;
-        let cause_label = get(c_cause, "cause")?;
-        let root = map_root_cause(cause_label)
-            .ok_or_else(|| parse_err(format!("unknown root cause {cause_label:?}")))?;
-        let sub = match c_sub {
-            Some(i) => map_sub_cause(root, fields.get(i).copied().unwrap_or("")),
-            None => SubCause::None,
-        };
-        let mut record = FailureRecord::new(
-            SystemId::new(system),
-            NodeId::new(node),
-            Timestamp::from_seconds(start),
-            root,
-            sub,
-        );
-        if let Some(i) = c_fixed {
-            let raw = fields.get(i).copied().unwrap_or("").trim().to_owned();
-            if !raw.is_empty() {
-                let fixed = parse_lanl_datetime(&raw).map_err(&parse_err)? - epoch_secs;
-                if fixed >= start {
-                    record = record.with_downtime(Duration::from_seconds(fixed - start));
+        match layout.parse_line(&line, lineno, relaxed) {
+            Ok((record, defaulted)) => {
+                out.defaulted_fields += u64::from(defaulted);
+                if out.records.last() == Some(&record) {
+                    out.duplicates += 1;
+                    if policy.recovers() {
+                        continue;
+                    }
                 }
+                out.records.push(record);
+            }
+            Err(e) => {
+                if !policy.recovers() {
+                    return Err(e);
+                }
+                let message = match &e {
+                    CsvError::Parse { message, .. } => message.clone(),
+                    other => other.to_string(),
+                };
+                out.quarantine(file, lineno, message, line.as_bytes());
             }
         }
-        out.push(record);
     }
-    hpcfail_obs::counter("store.lanl_rows_read").add(out.len() as u64);
+    hpcfail_obs::counter("store.lanl_rows_read").add(out.records.len() as u64);
+    hpcfail_obs::counter("ingest.rows_ok").add(out.records.len() as u64);
+    hpcfail_obs::counter("ingest.quarantined").add(out.quarantined.len() as u64);
+    hpcfail_obs::counter("ingest.defaulted").add(out.defaulted_fields);
     Ok(out)
 }
 
@@ -565,6 +666,75 @@ system,nodenum,prob started,cause
         assert_eq!(sys.node_failure_count(NodeId::new(0)), 2);
         assert_eq!(sys.node_failure_count(NodeId::new(1)), 1);
         assert!(sys.failures().iter().all(|f| f.node.raw() < 2));
+    }
+
+    #[test]
+    fn lenient_import_quarantines_bad_rows() {
+        let csv = "\
+System,NodeNum,Prob Started,Prob Fixed,Cause,SubCause
+20,0,10/23/2003 14:55,10/23/2003 18:20,Hardware,Memory Dimm
+20,zero,10/24/2003 09:00,,Hardware,
+20,1,11/02/2003 03:10,,Gremlins,
+20,2,11/03/2003 08:00,,Software,OS
+";
+        let read = read_lanl_failures_with(
+            csv.as_bytes(),
+            "upload.csv",
+            LanlImportOptions::default(),
+            IngestPolicy::Lenient,
+        )
+        .expect("lenient never fails on parse errors");
+        assert_eq!(read.records.len(), 2);
+        let lines: Vec<usize> = read.quarantined.iter().map(|q| q.line).collect();
+        assert_eq!(lines, vec![3, 4]);
+        assert_eq!(read.quarantined[0].file, "upload.csv");
+        assert!(read.quarantined[1].message.contains("Gremlins"));
+
+        // Strict matches the historical reader: first bad row is fatal.
+        let err = read_lanl_failures(csv.as_bytes(), LanlImportOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn best_effort_import_defaults_unknown_causes() {
+        let csv = "\
+System,NodeNum,Prob Started,Prob Fixed,Cause
+20,0,10/23/2003 14:55,not-a-time,Hardware
+20,1,11/02/2003 03:10,,Gremlins
+";
+        let read = read_lanl_failures_with(
+            csv.as_bytes(),
+            "upload.csv",
+            LanlImportOptions::default(),
+            IngestPolicy::BestEffort,
+        )
+        .unwrap();
+        assert_eq!(read.records.len(), 2);
+        assert_eq!(read.quarantined.len(), 0);
+        assert_eq!(read.defaulted_fields, 2);
+        assert_eq!(read.records[0].downtime, None, "bad repair time dropped");
+        assert_eq!(read.records[1].root_cause, RootCause::Undetermined);
+    }
+
+    #[test]
+    fn consecutive_duplicate_rows_deduped_under_recovery() {
+        let csv = "\
+System,NodeNum,Prob Started,Cause
+20,0,10/23/2003 14:55,Hardware
+20,0,10/23/2003 14:55,Hardware
+20,1,10/24/2003 10:00,Software
+";
+        let lenient = read_lanl_failures_with(
+            csv.as_bytes(),
+            "upload.csv",
+            LanlImportOptions::default(),
+            IngestPolicy::Lenient,
+        )
+        .unwrap();
+        assert_eq!(lenient.records.len(), 2);
+        assert_eq!(lenient.duplicates, 1);
+        let strict = read_lanl_failures(csv.as_bytes(), LanlImportOptions::default()).unwrap();
+        assert_eq!(strict.len(), 3, "strict keeps today's behavior");
     }
 
     #[test]

@@ -42,7 +42,10 @@ use hpcfail_types::prelude::*;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"HPCSNAP\0";
+/// The 8-byte prefix every `.hpcsnap` stream starts with; sniffing it
+/// distinguishes a binary snapshot upload from CSV text.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"HPCSNAP\0";
+const MAGIC: &[u8; 8] = SNAPSHOT_MAGIC;
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
 

@@ -242,6 +242,23 @@ impl SystemTrace {
         self.layout.as_ref()
     }
 
+    /// Approximate heap bytes held by this system's event storage:
+    /// the failure and maintenance columns, the row-struct vectors, and
+    /// the materialized failure rows when present. Lazy index caches
+    /// and the layout are excluded — the figure sizes the primary data,
+    /// not transient caches.
+    pub fn resident_bytes(&self) -> u64 {
+        fn vec_bytes<T>(v: &[T]) -> u64 {
+            std::mem::size_of_val(v) as u64
+        }
+        self.columns.resident_bytes()
+            + self.maint_columns.resident_bytes()
+            + vec_bytes(&self.jobs)
+            + vec_bytes(&self.temperatures)
+            + vec_bytes(&self.maintenance)
+            + self.rows.get().map_or(0, |r| vec_bytes(r))
+    }
+
     /// Iterates over all node ids of this system.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.config.nodes).map(NodeId::new)
@@ -407,6 +424,56 @@ impl Trace {
             .values()
             .map(|s| s.failure_columns().len())
             .sum()
+    }
+
+    /// Approximate heap bytes held by the trace's event storage (the
+    /// sum of every system's [`SystemTrace::resident_bytes`] plus the
+    /// neutron samples). Serving layers use this for residency budgets.
+    pub fn resident_bytes(&self) -> u64 {
+        self.systems
+            .values()
+            .map(SystemTrace::resident_bytes)
+            .sum::<u64>()
+            + std::mem::size_of_val(self.neutron.as_slice()) as u64
+    }
+}
+
+#[cfg(test)]
+mod resident_tests {
+    use super::*;
+
+    #[test]
+    fn resident_bytes_track_event_volume() {
+        let mut small = SystemTraceBuilder::new(tests::test_config(1, 4, 10.0));
+        small.push_failure(FailureRecord::new(
+            SystemId::new(1),
+            NodeId::new(0),
+            Timestamp::from_seconds(100),
+            RootCause::Hardware,
+            SubCause::None,
+        ));
+        let small = small.build();
+
+        let mut large = SystemTraceBuilder::new(tests::test_config(2, 4, 10.0));
+        for i in 0..100 {
+            large.push_failure(FailureRecord::new(
+                SystemId::new(2),
+                NodeId::new(i % 4),
+                Timestamp::from_seconds(i64::from(i) * 60),
+                RootCause::Software,
+                SubCause::None,
+            ));
+        }
+        let large = large.build();
+
+        assert!(small.resident_bytes() > 0);
+        assert!(large.resident_bytes() > small.resident_bytes());
+
+        let mut trace = Trace::new();
+        trace.insert_system(small);
+        let one = trace.resident_bytes();
+        trace.insert_system(large);
+        assert!(trace.resident_bytes() > one);
     }
 }
 
